@@ -1,0 +1,90 @@
+"""A1–A4 — design-choice ablations backed by the theory modules.
+
+- A1: smoothing β sweep (Theorem 1 bound vs empirical gap);
+- A2: barrier λ sweep (Theorem 2 ε-feasibility);
+- A3: zeroth-order (Δ, S) grid (Theorem 3 bias/variance);
+- A4: solver convergence (Theorems 4 and 5).
+
+Run: ``pytest benchmarks/bench_ablations.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.theory import (
+    convex_convergence_study,
+    feasibility_study,
+    gradient_error_study,
+    nonconvex_convergence_study,
+    sweep_beta,
+)
+from repro.utils.tables import Table
+
+
+def test_a1_beta_sweep(benchmark):
+    betas = [0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0]
+    sweep = benchmark.pedantic(
+        lambda: sweep_beta(betas, m=3, instances=100, rng=0), rounds=1, iterations=1
+    )
+    table = Table(["beta", "empirical max gap", "log(M)/beta bound"],
+                  title="A1 — Theorem 1: smoothing gap vs β")
+    for b, gap, bound in zip(sweep.betas, sweep.empirical_gap, sweep.bound):
+        table.add_row([f"{b:g}", f"{gap:.5f}", f"{bound:.5f}"])
+    print()
+    print(table.render())
+    assert sweep.holds()
+    assert sweep.empirical_gap[-1] < sweep.empirical_gap[0]
+
+
+def test_a2_lambda_sweep(benchmark):
+    lams = [0.001, 0.01, 0.1, 1.0]
+    stats = benchmark.pedantic(
+        lambda: feasibility_study(lams, instances=20, rng=0), rounds=1, iterations=1
+    )
+    table = Table(["lambda", "relaxed viol. rate", "rounded viol. rate",
+                   "rounded worst viol."],
+                  title="A2 — Theorem 2: constraint violations vs λ")
+    for s in stats:
+        table.add_row([f"{s.lam:g}", f"{s.relaxed_violation_rate:.2f}",
+                       f"{s.rounded_violation_rate:.2f}",
+                       f"{s.rounded_worst_violation:.4f}"])
+    print()
+    print(table.render())
+    # The interior point keeps every relaxed solution feasible.
+    assert all(s.relaxed_violation_rate == 0.0 for s in stats)
+
+
+def test_a3_zeroth_order_grid(benchmark):
+    points = benchmark.pedantic(
+        lambda: gradient_error_study(
+            deltas=[0.005, 0.02, 0.08, 0.3], sample_counts=[4, 16], repeats=4, rng=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table = Table(["delta", "S", "MSE", "cosine"],
+                  title="A3 — Theorem 3: ZO gradient error across (Δ, S)")
+    for p in points:
+        table.add_row([f"{p.delta:g}", p.samples, f"{p.mse:.4f}", f"{p.cosine:.3f}"])
+    print()
+    print(table.render())
+    # More samples help at fixed Δ (variance term of Eq. 18).
+    by_key = {(p.delta, p.samples): p.mse for p in points}
+    helped = sum(by_key[(d, 16)] <= by_key[(d, 4)] * 1.25 for d in [0.005, 0.02, 0.08, 0.3])
+    assert helped >= 3
+
+
+def test_a4_convergence(benchmark):
+    def study():
+        return (
+            convex_convergence_study(rng=0, iters=300),
+            nonconvex_convergence_study(rng=0, checkpoints=[10, 50, 100, 300]),
+        )
+
+    convex, nonconvex = benchmark.pedantic(study, rounds=1, iterations=1)
+    print(f"\nA4 — Theorem 4: convex contraction rate per iteration: {convex.rate:.4f}")
+    print("A4 — Theorem 5: best-so-far ||∇F||² at checkpoints:",
+          np.array2string(nonconvex.grad_norms, precision=3))
+    assert convex.is_linear()
+    assert nonconvex.is_decreasing()

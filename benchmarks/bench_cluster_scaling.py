@@ -1,0 +1,34 @@
+"""E7 — scaling in the number of clusters M (extension experiment).
+
+Run: ``pytest benchmarks/bench_cluster_scaling.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.experiments.cluster_scaling import run_cluster_scaling
+from repro.utils.tables import render_series
+
+
+def test_e7_cluster_scaling(benchmark, config):
+    counts = (2, 3, 4)
+    small = replace(config, seeds=(0, 1), eval_rounds=6)
+    results = benchmark.pedantic(
+        lambda: run_cluster_scaling(small, cluster_counts=counts),
+        rounds=1, iterations=1,
+    )
+    ms = sorted(results)
+    methods = list(results[ms[0]].keys())
+    regret = {n: [results[m][n].regret[0] for m in ms] for n in methods}
+    util = {n: [results[m][n].utilization[0] for m in ms] for n in methods}
+    print()
+    print(render_series("M clusters", ms, regret,
+                        title="E7a — Regret vs cluster count (reproduced)", digits=4))
+    print()
+    print(render_series("M clusters", ms, util,
+                        title="E7b — Utilization vs cluster count (reproduced)"))
+    for name in methods:
+        assert all(np.isfinite(v) for v in regret[name])

@@ -1,0 +1,30 @@
+"""E5 — MFCP vs the DFL literature (SPO+, DBB, DPO).
+
+Extension experiment (DESIGN.md): one representative per related-work
+direction, run under the Fig. 4 protocol on setting B.
+
+Run: ``pytest benchmarks/bench_dfl_landscape.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.dfl_landscape import run_dfl_landscape
+from repro.metrics.report import comparison_table
+
+
+def test_dfl_landscape(benchmark, config):
+    reports = benchmark.pedantic(
+        lambda: run_dfl_landscape(config), rounds=1, iterations=1
+    )
+    print()
+    print(comparison_table(reports, title="E5 — DFL landscape (reproduced)").render())
+
+    assert {"TSM", "SPO+", "DBB", "DPO", "MFCP-AD", "MFCP-FG"} <= set(reports)
+    regrets = {k: v.regret[0] for k, v in reports.items()}
+    assert all(np.isfinite(r) for r in regrets.values())
+    # Shape: decision-focused training (any flavour) should not lose badly
+    # to the pure two-stage pipeline.
+    best_dfl = min(regrets[k] for k in ("SPO+", "DPO", "MFCP-AD", "MFCP-FG"))
+    assert best_dfl <= regrets["TSM"] + 0.02

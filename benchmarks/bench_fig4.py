@@ -1,0 +1,36 @@
+"""E2 — regenerate Fig. 4 (overall performance, settings A/B/C).
+
+One benchmark per cluster setting; each prints the three-metric comparison
+table for the five methods of §4.1.2.
+
+Run: ``pytest benchmarks/bench_fig4.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clusters.registry import make_setting
+from repro.experiments.fig4 import fig4_methods
+from repro.experiments.runner import run_experiment
+from repro.metrics.report import comparison_table
+
+
+@pytest.mark.parametrize("setting", ["A", "B", "C"])
+def test_fig4_setting(benchmark, config, setting):
+    reports = benchmark.pedantic(
+        lambda: run_experiment(
+            lambda: make_setting(setting), fig4_methods(config), config
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(comparison_table(reports, title=f"Fig. 4 — Setting {setting} (reproduced)").render())
+
+    assert set(reports) == {"TAM", "TSM", "UCB", "MFCP-AD", "MFCP-FG"}
+    for report in reports.values():
+        assert 0.0 < report.utilization[0] <= 1.0
+    # Shape check (loose): the best MFCP variant is never beaten by TAM.
+    best_mfcp = min(reports["MFCP-AD"].regret[0], reports["MFCP-FG"].regret[0])
+    assert best_mfcp <= reports["TAM"].regret[0] + 0.02

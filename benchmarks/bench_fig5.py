@@ -1,0 +1,40 @@
+"""E3 — regenerate Fig. 5 (regret & utilization vs number of tasks).
+
+Sweeps the round size on setting A with the five methods and prints the
+two series tables behind the figure's panels.
+
+Run: ``pytest benchmarks/bench_fig5.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import active_profile
+from repro.experiments.fig5 import TASK_COUNTS, run_fig5, series
+from repro.utils.tables import render_series
+
+
+def test_fig5_scaling(benchmark, config):
+    counts = TASK_COUNTS if active_profile() == "full" else (5, 10, 15)
+    results = benchmark.pedantic(
+        lambda: run_fig5(config, task_counts=counts), rounds=1, iterations=1
+    )
+    ns, regret = series(results, "regret")
+    _, util = series(results, "utilization")
+    print()
+    print(render_series("N tasks", ns, regret,
+                        title="Fig. 5a — Regret vs task count (reproduced)", digits=4))
+    print()
+    print(render_series("N tasks", ns, util,
+                        title="Fig. 5b — Utilization vs task count (reproduced)"))
+
+    # Shape: utilization increases with N for every method (paper §4.4).
+    for name, ys in util.items():
+        assert ys[-1] >= ys[0] - 0.05, f"{name} utilization should rise with N"
+    # Shape: regrets stay bounded and MFCP-AD competitive at every scale.
+    for n in ns:
+        ad = results[n]["MFCP-AD"].regret[0]
+        tam = results[n]["TAM"].regret[0]
+        assert ad <= tam + 0.05
+    assert all(np.isfinite(v) for ys in regret.values() for v in ys)

@@ -1,0 +1,110 @@
+"""P1 — micro-benchmarks of the computational kernels.
+
+These quantify the per-call cost of the pieces Eq. (21)'s complexity
+analysis counts: prediction (MLP forward/backward), one Algorithm-1 solve
+(K₁·MN), one KKT adjoint solve, one zeroth-order estimate (S·K₂·MN), plus
+the substrate (embedding, DES round).
+
+Run: ``pytest benchmarks/bench_micro.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clusters import make_setting
+from repro.matching import (
+    MatchingProblem,
+    SolverConfig,
+    ZeroOrderConfig,
+    feasible_gamma,
+    kkt_vjp,
+    solve_branch_and_bound,
+    solve_relaxed,
+    zo_vjp,
+)
+from repro.matching.rounding import round_assignment
+from repro.nn import MLP, Adam, Tensor, mse_loss
+from repro.sim import simulate_matching
+from repro.workloads import GraphEmbedder, TaskPool, sample_specs
+
+
+@pytest.fixture(scope="module")
+def instance():
+    rng = np.random.default_rng(0)
+    T = rng.uniform(0.2, 3.0, (3, 10))
+    A = rng.uniform(0.6, 0.99, (3, 10))
+    p = MatchingProblem(T=T, A=A, gamma=feasible_gamma(T, A, quantile=0.4), entropy=0.05)
+    sol = solve_relaxed(p, SolverConfig(max_iters=400))
+    return p, sol
+
+
+def test_relaxed_solve(benchmark, instance):
+    p, _ = instance
+    cfg = SolverConfig(max_iters=300)
+    result = benchmark(lambda: solve_relaxed(p, cfg))
+    assert result.objective < np.inf
+
+
+def test_rounding(benchmark, instance):
+    p, sol = instance
+    X = benchmark(lambda: round_assignment(sol.X, p))
+    assert X.sum() == p.N
+
+
+def test_branch_and_bound(benchmark, instance):
+    p, _ = instance
+    result = benchmark(lambda: solve_branch_and_bound(p))
+    assert result.feasible
+
+
+def test_kkt_vjp(benchmark, instance):
+    p, sol = instance
+    gX = np.random.default_rng(1).normal(size=(p.M, p.N))
+    out = benchmark(lambda: kkt_vjp(sol.X, p, gX))
+    assert np.all(np.isfinite(out.dT))
+
+
+def test_zero_order_vjp(benchmark, instance):
+    p, sol = instance
+    gX = np.random.default_rng(1).normal(size=(p.M, p.N))
+    cfg = ZeroOrderConfig(samples=8, delta=0.05, warm_start_iters=50)
+    out = benchmark(lambda: zo_vjp(p, sol, 0, gX, cfg, rng=2))
+    assert np.all(np.isfinite(out.dt))
+
+
+def test_mlp_training_step(benchmark):
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(56, 16))
+    y = rng.normal(size=(56, 1))
+    model = MLP(16, (32, 32), 1, rng=0)
+    opt = Adam(model.parameters(), lr=1e-3)
+
+    def step():
+        opt.zero_grad()
+        loss = mse_loss(model(Tensor(X)), y)
+        loss.backward()
+        opt.step()
+        return loss.item()
+
+    assert np.isfinite(benchmark(step))
+
+
+def test_graph_embedding(benchmark):
+    specs = sample_specs(8, rng=5)
+    embedder = GraphEmbedder()
+    Z = benchmark(lambda: embedder.embed_specs(specs))
+    assert Z.shape == (8, embedder.feature_dim)
+
+
+def test_discrete_event_round(benchmark):
+    pool = TaskPool(16, rng=6)
+    clusters = make_setting("A")
+    rng = np.random.default_rng(7)
+    labels = rng.integers(0, 3, len(pool))
+    from repro.matching.rounding import assignment_from_labels
+
+    X = assignment_from_labels(labels, 3)
+    result = benchmark(lambda: simulate_matching(clusters, pool.tasks, X))
+    assert result.makespan > 0

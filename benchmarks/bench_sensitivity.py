@@ -1,0 +1,59 @@
+"""E6 — hyperparameter sensitivity sweeps (γ-quantile, β, λ).
+
+Run: ``pytest benchmarks/bench_sensitivity.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.experiments.sensitivity import (
+    run_beta_sweep,
+    run_gamma_sweep,
+    run_lambda_sweep,
+)
+from repro.utils.tables import Table
+
+
+def _render(title, knob, results):
+    table = Table([knob, "Method", "Regret", "Reliability", "Utilization"], title=title)
+    for value, reports in results.items():
+        for name, report in reports.items():
+            table.add_row([f"{value:g}", name, f"{report.regret[0]:.4f}",
+                           f"{report.reliability[0]:.3f}", f"{report.utilization[0]:.3f}"])
+    return table.render()
+
+
+def _small(config):
+    return replace(config, seeds=(0, 1), eval_rounds=6)
+
+
+def test_e6a_gamma_sweep(benchmark, config):
+    results = benchmark.pedantic(
+        lambda: run_gamma_sweep(_small(config)), rounds=1, iterations=1
+    )
+    print("\n" + _render("E6a — γ-quantile sweep (reproduced)", "γ-quantile", results))
+    # Tighter thresholds force more reliable assignments.
+    rel = {q: results[q]["MFCP-AD"].reliability[0] for q in results}
+    qs = sorted(rel)
+    assert rel[qs[-1]] >= rel[qs[0]] - 0.01
+
+
+def test_e6b_beta_sweep(benchmark, config):
+    results = benchmark.pedantic(
+        lambda: run_beta_sweep(_small(config)), rounds=1, iterations=1
+    )
+    print("\n" + _render("E6b — β sweep (reproduced)", "β", results))
+    for reports in results.values():
+        assert np.isfinite(reports["MFCP-AD"].regret[0])
+
+
+def test_e6c_lambda_sweep(benchmark, config):
+    results = benchmark.pedantic(
+        lambda: run_lambda_sweep(_small(config)), rounds=1, iterations=1
+    )
+    print("\n" + _render("E6c — λ sweep (reproduced)", "λ", results))
+    for reports in results.values():
+        assert 0 < reports["MFCP-AD"].utilization[0] <= 1.0

@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark suite.
+
+Every paper artifact (Table 1, Fig. 4, Fig. 5, Table 2) has a bench that
+regenerates it.  ``REPRO_PROFILE=fast`` (default) runs trimmed sizes so the
+whole suite finishes in minutes; ``REPRO_PROFILE=full`` runs the
+paper-faithful sizes used for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig, active_profile, default_config
+from repro.matching.zeroth_order import ZeroOrderConfig
+from repro.methods.mfcp import MFCPConfig
+from repro.predictors.training import TrainConfig
+
+
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration benches run under."""
+    if active_profile() == "full":
+        return default_config("full")
+    # Trimmed fast profile: same code paths, smaller counts.
+    return ExperimentConfig(
+        pool_size=60,
+        eval_rounds=6,
+        seeds=(0, 1),
+        mfcp=MFCPConfig(
+            epochs=25,
+            pretrain=TrainConfig(epochs=100),
+            zero_order=ZeroOrderConfig(samples=6, delta=0.05, warm_start_iters=50,
+                                       vectorized=True),
+        ),
+        supervised=TrainConfig(epochs=120),
+        ucb_ensemble=3,
+    )
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return bench_config()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Online platform operation: Poisson arrivals, windowed matching, queueing.
+
+Extends the paper's one-shot rounds to the continuous operating loop a real
+exchange platform runs: jobs arrive over time, the platform batches each
+decision window, matches the batch with its trained predictors, and hands
+tasks to clusters that may still be busy with earlier batches.
+
+The script contrasts the two-stage baseline with MFCP under increasing
+load, reporting waiting time, flow time, success rate and fleet
+utilization.
+
+Run:  python examples/online_platform.py
+"""
+
+from __future__ import annotations
+
+from repro.clusters import make_setting
+from repro.methods import MFCP, MFCPConfig, FitContext, MatchSpec, TSM
+from repro.sim import OnlineConfig, PoissonArrivals, simulate_online
+from repro.utils.tables import Table
+from repro.workloads import TaskPool
+
+
+def main() -> None:
+    pool = TaskPool(90, rng=37)
+    clusters = make_setting("A")
+    train_tasks, _ = pool.split(0.6, rng=2)
+    spec = MatchSpec()
+    ctx = FitContext.build(clusters, train_tasks, spec, rng=3)
+
+    methods = [
+        TSM().fit(ctx),
+        MFCP("analytic", MFCPConfig(epochs=40)).fit(ctx),
+    ]
+    print(f"Platform: {[c.name for c in clusters]}, "
+          f"{len(train_tasks)} profiled jobs, 12h horizon\n")
+
+    table = Table(
+        ["Load (jobs/h)", "Method", "Jobs", "Wait (h)", "Flow (h)", "Success", "Util"],
+        title="Online operation under increasing load",
+    )
+    for rate in (3.0, 8.0, 15.0):
+        for method in methods:
+            stats = simulate_online(
+                clusters, method, PoissonArrivals(pool, rate), spec,
+                OnlineConfig(window_hours=0.5, horizon_hours=12.0), rng=11,
+            )
+            table.add_row([
+                f"{rate:g}", method.name, stats.jobs_arrived,
+                f"{stats.mean_wait_hours:.2f}", f"{stats.mean_flow_hours:.2f}",
+                f"{stats.success_rate:.0%}", f"{stats.utilization:.0%}",
+            ])
+    print(table.render())
+    print("\nUnder load, better matching translates into shorter queues: the "
+          "regret-trained predictor keeps waiting times lower at high rates.")
+
+
+if __name__ == "__main__":
+    main()

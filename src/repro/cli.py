@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments {fig2,table1,fig4,fig5,table2,dfl}``
+    Regenerate a paper artifact (``--profile full`` for paper sizes).
+``clusters``
+    Print the archetype catalog and the A/B/C settings.
+``pool``
+    Sample a task pool and print workload statistics.
+``trace``
+    Export a measurement trace (JSON) for a setting and pool.
+``demo``
+    Run the quickstart end-to-end comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MFCP reproduction: joint prediction and matching for "
+                    "computing resource exchange platforms (ICPP'25).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate a paper artifact")
+    p_exp.add_argument("artifact",
+                       choices=["fig2", "table1", "fig4", "fig5", "table2", "dfl"])
+    p_exp.add_argument("--profile", choices=["fast", "full"], default=None,
+                       help="override REPRO_PROFILE")
+
+    sub.add_parser("clusters", help="print the cluster archetype catalog")
+
+    p_pool = sub.add_parser("pool", help="sample a task pool and summarize it")
+    p_pool.add_argument("--size", type=int, default=20)
+    p_pool.add_argument("--seed", type=int, default=0)
+
+    p_trace = sub.add_parser("trace", help="export a measurement trace (JSON)")
+    p_trace.add_argument("output", help="path of the trace file to write")
+    p_trace.add_argument("--setting", choices=["A", "B", "C"], default="A")
+    p_trace.add_argument("--tasks", type=int, default=24)
+    p_trace.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("demo", help="run the quickstart comparison")
+    return parser
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    if args.profile:
+        os.environ["REPRO_PROFILE"] = args.profile
+    from repro.experiments import dfl_landscape, fig2, fig4, fig5, table1, table2
+
+    mains = {
+        "fig2": fig2.main,
+        "table1": table1.main,
+        "fig4": fig4.main,
+        "fig5": fig5.main,
+        "table2": table2.main,
+        "dfl": dfl_landscape.main,
+    }
+    mains[args.artifact]()
+    return 0
+
+
+def _cmd_clusters(args: argparse.Namespace) -> int:
+    from repro.clusters import ARCHETYPES, SETTINGS
+    from repro.utils.tables import Table
+
+    table = Table(
+        ["Archetype", "Peak TFLOPs", "Mem (GB)", "Shape", "Base rel.", "Hazard/h"],
+        title="Cluster archetype catalog",
+    )
+    for name, (hw, shape, util, strength) in ARCHETYPES.items():
+        table.add_row([
+            name, f"{hw.peak_tflops:g}", f"{hw.memory_gb:g}", shape.value,
+            f"{hw.base_reliability:.3f}", f"{hw.hazard_per_hour:g}",
+        ])
+    print(table.render())
+    print("\nSettings:")
+    for s, triple in SETTINGS.items():
+        print(f"  {s}: {', '.join(triple)}")
+    return 0
+
+
+def _cmd_pool(args: argparse.Namespace) -> int:
+    from repro.utils.tables import Table
+    from repro.workloads import TaskPool
+
+    pool = TaskPool(args.size, rng=args.seed)
+    table = Table(["Task", "Family", "Depth", "Width", "Batch", "Epoch FLOPs", "Mem GB"],
+                  title=f"Task pool (size={args.size}, seed={args.seed})")
+    for task in list(pool)[: min(args.size, 20)]:
+        s = task.spec
+        table.add_row([task.task_id, s.family.value, s.depth, s.width, s.batch_size,
+                       f"{s.epoch_flops:.2e}", f"{s.memory_gb:.2f}"])
+    print(table.render())
+    if args.size > 20:
+        print(f"... ({args.size - 20} more)")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.clusters import make_setting
+    from repro.workloads import TaskPool, export_trace
+
+    pool = TaskPool(args.tasks, rng=args.seed)
+    clusters = make_setting(args.setting)
+    trace = export_trace(clusters, pool.tasks, args.output, rng=args.seed)
+    print(f"wrote {args.output}: {trace.n_tasks} tasks x {trace.n_clusters} clusters")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import importlib.util
+    import pathlib
+
+    script = pathlib.Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+    if script.exists():  # running from a source checkout
+        spec = importlib.util.spec_from_file_location("quickstart", script)
+        module = importlib.util.module_from_spec(spec)  # type: ignore[arg-type]
+        spec.loader.exec_module(module)  # type: ignore[union-attr]
+        module.main()
+        return 0
+    print("demo requires a source checkout with examples/quickstart.py", file=sys.stderr)
+    return 1
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "experiments": _cmd_experiments,
+        "clusters": _cmd_clusters,
+        "pool": _cmd_pool,
+        "trace": _cmd_trace,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""Cluster substrate: hardware profiles, ground-truth performance and
+reliability models, and the archetype catalog with the paper's settings
+A/B/C.  Replaces the proprietary Xirang platform measurements (DESIGN.md §2).
+"""
+
+from repro.clusters.cluster import Cluster, Measurement
+from repro.clusters.hardware import HardwareProfile
+from repro.clusters.perf_models import PerfModel, ResponseShape
+from repro.clusters.registry import (
+    ARCHETYPES,
+    SETTINGS,
+    archetype_names,
+    make_cluster,
+    make_pool,
+    make_setting,
+)
+from repro.clusters.reliability import ReliabilityModel
+
+__all__ = [
+    "Cluster",
+    "Measurement",
+    "HardwareProfile",
+    "PerfModel",
+    "ResponseShape",
+    "ReliabilityModel",
+    "ARCHETYPES",
+    "SETTINGS",
+    "archetype_names",
+    "make_cluster",
+    "make_pool",
+    "make_setting",
+]

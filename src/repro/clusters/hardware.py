@@ -1,0 +1,67 @@
+"""Hardware profiles for third-party clusters.
+
+A profile captures the first-order determinants of training throughput —
+peak compute, memory bandwidth (roofline ceiling), device memory — plus the
+soft characteristics that make exchange-platform clusters heterogeneous:
+per-family software affinity (e.g. tensor-core transformers vs. cuDNN
+convolutions) and infrastructure quality driving reliability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.specs import Family
+
+__all__ = ["HardwareProfile"]
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Static description of one cluster's hardware.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"a100-dgx"``).
+    peak_tflops:
+        Aggregate peak throughput of the devices a single task can use.
+    mem_bandwidth_gbs:
+        Device memory bandwidth; bounds memory-bound workloads via a
+        roofline model.
+    memory_gb:
+        Device memory available to one task; tasks approaching it pay a
+        swap/recompute penalty and fail more often.
+    family_affinity:
+        Multiplicative throughput factor per model family (software stack
+        maturity — the paper's "specific optimizations for convolutional or
+        transformer architectures").  Missing families default to 1.
+    base_reliability:
+        Probability an infinitesimally short task completes (network +
+        operations quality of the hosting institution).
+    hazard_per_hour:
+        Failure hazard rate: longer tasks fail more, ``exp(-hazard·t)``.
+    """
+
+    name: str
+    peak_tflops: float
+    mem_bandwidth_gbs: float
+    memory_gb: float
+    family_affinity: dict[Family, float] = field(default_factory=dict)
+    base_reliability: float = 0.99
+    hazard_per_hour: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.peak_tflops <= 0 or self.mem_bandwidth_gbs <= 0 or self.memory_gb <= 0:
+            raise ValueError(f"{self.name}: hardware capacities must be positive")
+        if not 0.0 < self.base_reliability <= 1.0:
+            raise ValueError(f"{self.name}: base_reliability must be in (0, 1]")
+        if self.hazard_per_hour < 0:
+            raise ValueError(f"{self.name}: hazard_per_hour must be >= 0")
+        for fam, aff in self.family_affinity.items():
+            if aff <= 0:
+                raise ValueError(f"{self.name}: affinity for {fam} must be positive")
+
+    def affinity(self, family: Family) -> float:
+        """Throughput multiplier for ``family`` (1.0 when unspecified)."""
+        return self.family_affinity.get(family, 1.0)

@@ -1,0 +1,45 @@
+"""Experiment harnesses reproducing every table and figure of the paper's
+evaluation (§4): Table 1 (ablation), Fig. 4 (overall), Fig. 5 (scale sweep),
+Table 2 (parallel execution)."""
+
+from repro.experiments.config import ExperimentConfig, active_profile, default_config
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import TASK_COUNTS, run_fig5
+from repro.experiments.runner import (
+    SeedResult,
+    evaluate_round,
+    oracle_matching,
+    run_experiment,
+    run_seed,
+)
+from repro.experiments.cluster_scaling import CLUSTER_COUNTS, run_cluster_scaling
+from repro.experiments.dfl_landscape import run_dfl_landscape
+from repro.experiments.diagnostics import run_diagnostics
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.sensitivity import run_beta_sweep, run_gamma_sweep, run_lambda_sweep
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+
+__all__ = [
+    "ExperimentConfig",
+    "active_profile",
+    "default_config",
+    "run_fig4",
+    "run_fig5",
+    "TASK_COUNTS",
+    "run_table1",
+    "run_table2",
+    "run_dfl_landscape",
+    "run_cluster_scaling",
+    "CLUSTER_COUNTS",
+    "run_diagnostics",
+    "run_fig2",
+    "run_gamma_sweep",
+    "run_beta_sweep",
+    "run_lambda_sweep",
+    "SeedResult",
+    "evaluate_round",
+    "oracle_matching",
+    "run_experiment",
+    "run_seed",
+]

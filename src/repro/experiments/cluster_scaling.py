@@ -1,0 +1,75 @@
+"""Extension experiment E7: scaling in the number of clusters M.
+
+The paper fixes M = 3 and sweeps N (Fig. 5).  Exchange platforms grow by
+*acquiring clusters*, so the complementary sweep matters operationally:
+with the task count fixed, more clusters mean more balancing freedom (the
+oracle makespan falls) but a larger decision space for the predictors to
+misrank.  We sweep M over random archetype pools and report regret and
+utilization for TSM and MFCP-AD.
+
+Run: ``python -m repro.experiments.cluster_scaling``.
+"""
+
+from __future__ import annotations
+
+from repro.clusters.registry import make_pool
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.runner import run_experiment
+from repro.methods import MFCP, TSM
+from repro.metrics.report import MethodReport
+from repro.utils.tables import render_series
+
+__all__ = ["CLUSTER_COUNTS", "run_cluster_scaling", "main"]
+
+CLUSTER_COUNTS: tuple[int, ...] = (2, 3, 4, 6)
+
+#: Tasks per round grows with M so the per-cluster load stays comparable.
+TASKS_PER_CLUSTER = 3
+
+
+def run_cluster_scaling(
+    config: ExperimentConfig | None = None,
+    cluster_counts: tuple[int, ...] = CLUSTER_COUNTS,
+    *,
+    verbose: bool = False,
+) -> dict[int, dict[str, MethodReport]]:
+    """Run the M sweep; returns {m: {method: report}}.
+
+    Pools are drawn deterministically per (M, seed) so every method sees
+    identical cluster sets.
+    """
+    config = config or default_config()
+
+    def factory():
+        return [TSM(train_config=config.supervised), MFCP("analytic", config.mfcp)]
+
+    results: dict[int, dict[str, MethodReport]] = {}
+    for m in cluster_counts:
+        if verbose:
+            print(f"M = {m}:")
+        results[m] = run_experiment(
+            lambda m=m: make_pool(m, rng=1000 + m),
+            factory,
+            config,
+            n_tasks=TASKS_PER_CLUSTER * m,
+            verbose=verbose,
+        )
+    return results
+
+
+def main() -> None:
+    results = run_cluster_scaling(verbose=True)
+    ms = sorted(results)
+    methods = list(results[ms[0]].keys())
+    regret = {name: [results[m][name].regret[0] for m in ms] for name in methods}
+    util = {name: [results[m][name].utilization[0] for m in ms] for name in methods}
+    print()
+    print(render_series("M clusters", ms, regret,
+                        title="E7a — Regret vs cluster count", digits=4))
+    print()
+    print(render_series("M clusters", ms, util,
+                        title="E7b — Utilization vs cluster count"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Experiment configuration and the FAST/FULL execution profiles.
+
+Profile selection: ``REPRO_PROFILE=full`` in the environment switches every
+harness from the quick benchmark-friendly sizes to the paper-faithful ones
+(more seeds, more evaluation rounds, longer MFCP training).  Both profiles
+run the identical code paths — FULL only changes counts.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+from repro.matching.relaxed import SolverConfig
+from repro.methods.base import MatchSpec
+from repro.methods.mfcp import MFCPConfig
+from repro.predictors.training import TrainConfig
+
+__all__ = ["ExperimentConfig", "active_profile", "default_config"]
+
+
+def active_profile() -> str:
+    """"fast" (default) or "full", from the REPRO_PROFILE env var."""
+    profile = os.environ.get("REPRO_PROFILE", "fast").lower()
+    if profile not in ("fast", "full"):
+        raise ValueError(f"REPRO_PROFILE must be 'fast' or 'full', got {profile!r}")
+    return profile
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Sizes and hyperparameters of one experiment run."""
+
+    pool_size: int = 80
+    train_fraction: float = 0.7
+    n_tasks: int = 5  # N per allocation round (paper: 5 tasks, 3 clusters)
+    eval_rounds: int = 12  # test rounds per seed
+    seeds: tuple[int, ...] = (0, 1, 2)
+    spec: MatchSpec = field(default_factory=MatchSpec)
+    mfcp: MFCPConfig = field(default_factory=lambda: MFCPConfig(epochs=50))
+    supervised: TrainConfig = field(default_factory=lambda: TrainConfig(epochs=200))
+    ucb_ensemble: int = 4
+    #: Exact-oracle node budget; beyond it the oracle falls back to the
+    #: deployment pipeline (documented in EXPERIMENTS.md).
+    oracle_node_limit: int = 400_000
+
+    def __post_init__(self) -> None:
+        if self.pool_size <= 0 or self.n_tasks <= 0 or self.eval_rounds <= 0:
+            raise ValueError("pool_size, n_tasks and eval_rounds must be positive")
+        if not 0.0 < self.train_fraction < 1.0:
+            raise ValueError("train_fraction must be in (0, 1)")
+        if not self.seeds:
+            raise ValueError("at least one seed is required")
+
+
+def default_config(profile: str | None = None, **overrides: object) -> ExperimentConfig:
+    """Build the profile's default configuration (override fields via kwargs)."""
+    profile = profile or active_profile()
+    if profile == "full":
+        cfg = ExperimentConfig(
+            pool_size=120,
+            eval_rounds=15,
+            seeds=(0, 1, 2, 3, 4),
+            mfcp=MFCPConfig(epochs=80),
+            supervised=TrainConfig(epochs=300),
+            ucb_ensemble=5,
+        )
+    else:
+        cfg = ExperimentConfig()
+    if overrides:
+        cfg = replace(cfg, **overrides)  # type: ignore[arg-type]
+    return cfg

@@ -1,0 +1,50 @@
+"""Extension experiment E5: MFCP vs the wider decision-focused-learning
+landscape.
+
+The paper's related-work section (§5) organizes DFL into three strategies —
+surrogate losses (SPO+), black-box solver differentiation (DBB), and
+perturbed optimizers (DPO).  This harness runs one representative of each
+against MFCP-AD/FG under the standard Fig. 4 protocol on one setting,
+answering the natural reviewer question "how would generic DFL methods do
+on this problem?".
+
+Run: ``python -m repro.experiments.dfl_landscape``.
+"""
+
+from __future__ import annotations
+
+from repro.clusters.registry import make_setting
+from repro.experiments.config import ExperimentConfig, default_config
+from repro.experiments.runner import run_experiment
+from repro.methods.dfl_baselines import make_dfl_methods
+from repro.methods.tsm import TSM
+from repro.metrics.report import MethodReport, comparison_table
+
+__all__ = ["run_dfl_landscape", "main"]
+
+SETTING = "B"  # the hardest prediction environment of the three
+
+
+def run_dfl_landscape(
+    config: ExperimentConfig | None = None, *, verbose: bool = False
+) -> dict[str, MethodReport]:
+    config = config or default_config()
+
+    def factory():
+        return [TSM(train_config=config.supervised), *make_dfl_methods(config.mfcp)]
+
+    return run_experiment(
+        lambda: make_setting(SETTING), factory, config, verbose=verbose
+    )
+
+
+def main() -> None:
+    reports = run_dfl_landscape(verbose=True)
+    print()
+    print(comparison_table(
+        reports, title=f"E5 — DFL landscape on setting {SETTING}"
+    ).render())
+
+
+if __name__ == "__main__":
+    main()

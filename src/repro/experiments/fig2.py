@@ -1,0 +1,145 @@
+"""Figure 2 reproduction: the paper's motivating example.
+
+Fig. 2 contrasts the predict-then-match framework with matching-focused
+prediction on a minimal instance: linear-regression execution-time
+predictors for two clusters, where Cluster A's true time grows *linearly*
+in the task feature z while Cluster B's grows *exponentially*.  MSE-fitted
+lines misrank the clusters for the middle task (the crossing region), so
+the matching sends it to the wrong cluster; reweighting the regression
+around the decision boundary (the matching-focused idea) fixes the
+allocation even though the absolute fit is worse.
+
+This harness constructs exactly that setting, fits both predictors, and
+reports per-task true times, predicted times, allocations, and whether the
+allocation is correct — the table behind the figure's two panels.
+
+Run: ``python -m repro.experiments.fig2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.utils.tables import Table
+
+__all__ = ["Fig2Result", "run_fig2", "main"]
+
+#: The three tasks of the figure (feature values in the crossing region).
+TASK_FEATURES = np.array([0.25, 0.52, 0.85])
+
+
+def _true_times(z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster A: linear in z.  Cluster B: exponential in z (Fig. 2)."""
+    t_a = 0.8 + 1.9 * z
+    t_b = 0.35 * np.exp(2.6 * z)
+    return t_a, t_b
+
+
+def _fit_linear(z: np.ndarray, t: np.ndarray, w: np.ndarray) -> tuple[float, float]:
+    """Weighted least squares line fit; returns (intercept, slope)."""
+    W = np.diag(w)
+    X = np.stack([np.ones_like(z), z], axis=1)
+    coef = np.linalg.solve(X.T @ W @ X, X.T @ W @ t)
+    return float(coef[0]), float(coef[1])
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Per-task outcome under one training scheme."""
+
+    scheme: str
+    predicted_a: np.ndarray
+    predicted_b: np.ndarray
+    allocations: np.ndarray  # 0 = cluster A, 1 = cluster B
+    correct: np.ndarray  # against the true-time allocation
+    mse: float
+
+    @property
+    def all_correct(self) -> bool:
+        return bool(self.correct.all())
+
+
+def run_fig2(
+    n_samples: int = 18,
+    noise_std: float = 0.10,
+    rng: "np.random.Generator | int | None" = 0,
+) -> dict[str, Fig2Result]:
+    """Fit MSE and matching-focused linear predictors; allocate the 3 tasks.
+
+    The matching-focused weights emphasize samples near the clusters'
+    crossing point — the region where the allocation decision is made —
+    which is precisely the "cluster-specific task preference" reweighting
+    §2.2 describes.
+    """
+    rng = as_generator(rng)
+    z_train = rng.uniform(0.05, 0.95, n_samples)
+    t_a_true, t_b_true = _true_times(z_train)
+    t_a_obs = t_a_true * np.exp(rng.normal(0, noise_std, n_samples))
+    t_b_obs = t_b_true * np.exp(rng.normal(0, noise_std, n_samples))
+
+    # True crossing point of the two response curves (for the weights).
+    z_grid = np.linspace(0.05, 0.95, 512)
+    ga, gb = _true_times(z_grid)
+    z_cross = float(z_grid[np.argmin(np.abs(ga - gb))])
+
+    ta_tasks, tb_tasks = _true_times(TASK_FEATURES)
+    true_alloc = (tb_tasks < ta_tasks).astype(int)
+
+    out: dict[str, Fig2Result] = {}
+    for scheme in ("MSE (predict-then-match)", "matching-focused"):
+        if scheme.startswith("MSE"):
+            w = np.ones(n_samples)
+        else:
+            # Decision-relevance weights: Gaussian bump at the crossing.
+            w = np.exp(-(((z_train - z_cross) / 0.18) ** 2)) + 0.05
+        a0, a1 = _fit_linear(z_train, t_a_obs, w)
+        b0, b1 = _fit_linear(z_train, t_b_obs, w)
+        pred_a = a0 + a1 * TASK_FEATURES
+        pred_b = b0 + b1 * TASK_FEATURES
+        alloc = (pred_b < pred_a).astype(int)
+        # MSE of the fits on the training samples (uniform weighting).
+        mse = float(
+            np.mean((a0 + a1 * z_train - t_a_obs) ** 2)
+            + np.mean((b0 + b1 * z_train - t_b_obs) ** 2)
+        )
+        out[scheme] = Fig2Result(
+            scheme=scheme,
+            predicted_a=pred_a,
+            predicted_b=pred_b,
+            allocations=alloc,
+            correct=alloc == true_alloc,
+            mse=mse,
+        )
+    return out
+
+
+def main() -> None:
+    results = run_fig2()
+    ta, tb = _true_times(TASK_FEATURES)
+    table = Table(
+        ["Scheme", "Task", "z", "true A", "true B", "pred A", "pred B",
+         "chosen", "correct"],
+        title="Fig. 2 — MSE vs matching-focused linear predictors",
+    )
+    for scheme, res in results.items():
+        for j, z in enumerate(TASK_FEATURES):
+            table.add_row([
+                scheme, j + 1, f"{z:.2f}", f"{ta[j]:.2f}", f"{tb[j]:.2f}",
+                f"{res.predicted_a[j]:.2f}", f"{res.predicted_b[j]:.2f}",
+                "B" if res.allocations[j] else "A",
+                "yes" if res.correct[j] else "NO",
+            ])
+    print(table.render())
+    mse_scheme = results["MSE (predict-then-match)"]
+    mf_scheme = results["matching-focused"]
+    print(f"\nMSE scheme: training MSE {mse_scheme.mse:.3f}, "
+          f"{int(mse_scheme.correct.sum())}/3 tasks allocated correctly")
+    print(f"Matching-focused: training MSE {mf_scheme.mse:.3f} (worse fit), "
+          f"{int(mf_scheme.correct.sum())}/3 tasks allocated correctly")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Matching core: problem container, objectives, solvers, differentiation.
+
+This package implements the paper's optimization machinery end to end:
+Eq. (2) problem, Eq. (8)/(9) smoothing and barrier, Algorithm 1 relaxed
+solver, exact discrete solvers, rounding, Eq. (15) KKT differentiation,
+and Algorithm 2 zeroth-order gradient estimation.
+"""
+
+from repro.matching.annealing import AnnealingConfig, solve_annealing
+from repro.matching.batch import BatchProblem, BatchSolution, solve_relaxed_batch
+from repro.matching.exact import ExactSolution, solve_branch_and_bound, solve_bruteforce
+from repro.matching.frank_wolfe import FrankWolfeConfig, solve_frank_wolfe
+from repro.matching.kkt import KKTGradients, kkt_jacobians, kkt_vjp
+from repro.matching.objectives import (
+    BarrierDerivatives,
+    barrier_gradient,
+    barrier_second_derivatives,
+    barrier_value,
+    cluster_loads,
+    linear_cost,
+    makespan,
+    reliability_value,
+    smooth_makespan,
+)
+from repro.matching.problem import MatchingProblem, feasible_gamma
+from repro.matching.relaxed import (
+    RelaxedSolution,
+    SolverConfig,
+    project_simplex_columns,
+    solve_relaxed,
+)
+from repro.matching.rounding import (
+    assignment_from_labels,
+    labels_from_assignment,
+    round_assignment,
+)
+from repro.matching.speedup import (
+    ExponentialDecaySpeedup,
+    IdentitySpeedup,
+    PowerLawSpeedup,
+    SpeedupFunction,
+)
+from repro.matching.zeroth_order import (
+    ZeroOrderConfig,
+    ZeroOrderGradients,
+    optimal_perturbation,
+    zo_vjp,
+)
+
+__all__ = [
+    "MatchingProblem",
+    "feasible_gamma",
+    "cluster_loads",
+    "makespan",
+    "linear_cost",
+    "smooth_makespan",
+    "reliability_value",
+    "barrier_value",
+    "barrier_gradient",
+    "BarrierDerivatives",
+    "barrier_second_derivatives",
+    "SolverConfig",
+    "RelaxedSolution",
+    "solve_relaxed",
+    "project_simplex_columns",
+    "round_assignment",
+    "assignment_from_labels",
+    "labels_from_assignment",
+    "ExactSolution",
+    "solve_bruteforce",
+    "solve_branch_and_bound",
+    "AnnealingConfig",
+    "solve_annealing",
+    "FrankWolfeConfig",
+    "solve_frank_wolfe",
+    "BatchProblem",
+    "BatchSolution",
+    "solve_relaxed_batch",
+    "KKTGradients",
+    "kkt_vjp",
+    "kkt_jacobians",
+    "ZeroOrderConfig",
+    "ZeroOrderGradients",
+    "zo_vjp",
+    "optimal_perturbation",
+    "IdentitySpeedup",
+    "ExponentialDecaySpeedup",
+    "PowerLawSpeedup",
+    "SpeedupFunction",
+]

@@ -1,0 +1,116 @@
+"""Simulated-annealing solver for the *discrete* matching problem.
+
+Complements the exact solvers: branch-and-bound is exact but worst-case
+exponential, and relax-and-round can leave integrality gaps on adversarial
+instances.  Annealing searches the binary assignment space directly with
+single-task reassignment moves, a feasibility-aware penalized energy, and
+a geometric cooling schedule — a strong incumbent generator for large N
+(used by the oracle at Fig. 5's biggest scales and available to users with
+instances beyond branch-and-bound's reach).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.matching.exact import ExactSolution
+from repro.matching.objectives import decision_cost, reliability_value
+from repro.matching.problem import MatchingProblem
+from repro.matching.rounding import assignment_from_labels, round_assignment
+from repro.matching.relaxed import SolverConfig, solve_relaxed
+from repro.utils.rng import as_generator
+
+__all__ = ["AnnealingConfig", "solve_annealing"]
+
+
+@dataclass(frozen=True)
+class AnnealingConfig:
+    """Cooling schedule and move budget."""
+
+    steps: int = 4000
+    t_start: float = 0.25  # initial temperature, relative to the initial cost
+    t_end: float = 1e-3
+    infeasibility_weight: float = 10.0  # energy penalty per unit of violation
+    restarts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.steps <= 0 or self.restarts <= 0:
+            raise ValueError("steps and restarts must be positive")
+        if not 0 < self.t_end <= self.t_start:
+            raise ValueError("need 0 < t_end <= t_start")
+        if self.infeasibility_weight < 0:
+            raise ValueError("infeasibility_weight must be >= 0")
+
+
+def _energy(X: np.ndarray, problem: MatchingProblem, w: float) -> float:
+    violation = max(0.0, -reliability_value(X, problem))
+    return decision_cost(X, problem) + w * violation * problem.M * problem.N
+
+
+def solve_annealing(
+    problem: MatchingProblem,
+    config: AnnealingConfig | None = None,
+    rng: np.random.Generator | int | None = None,
+    *,
+    warm_start: bool = True,
+) -> ExactSolution:
+    """Anneal over binary assignments; returns the best feasible incumbent.
+
+    ``warm_start=True`` seeds the first restart from the relax-and-round
+    deployment solution (subsequent restarts start random).  The returned
+    ``nodes_explored`` counts proposed moves.
+    """
+    cfg = config or AnnealingConfig()
+    rng = as_generator(rng)
+    M, N = problem.M, problem.N
+    best_X: np.ndarray | None = None
+    best_cost = np.inf
+    moves = 0
+
+    starts: list[np.ndarray] = []
+    if warm_start:
+        relaxed = solve_relaxed(problem, SolverConfig(max_iters=150))
+        starts.append(round_assignment(relaxed.X, problem))
+    while len(starts) < cfg.restarts:
+        starts.append(assignment_from_labels(rng.integers(0, M, N), M))
+
+    cool = (cfg.t_end / cfg.t_start) ** (1.0 / max(cfg.steps - 1, 1))
+    for X0 in starts:
+        X = X0.copy()
+        labels = X.argmax(axis=0)
+        energy = _energy(X, problem, cfg.infeasibility_weight)
+        scale = max(energy, 1e-9)
+        temp = cfg.t_start * scale
+        for _ in range(cfg.steps):
+            moves += 1
+            j = int(rng.integers(0, N))
+            new_i = int(rng.integers(0, M))
+            old_i = labels[j]
+            if new_i == old_i:
+                temp *= cool
+                continue
+            X[old_i, j], X[new_i, j] = 0.0, 1.0
+            new_energy = _energy(X, problem, cfg.infeasibility_weight)
+            accept = new_energy <= energy or rng.random() < np.exp(
+                -(new_energy - energy) / max(temp, 1e-12)
+            )
+            if accept:
+                labels[j] = new_i
+                energy = new_energy
+                if (
+                    reliability_value(X, problem) >= -1e-12
+                    and decision_cost(X, problem) < best_cost
+                ):
+                    best_cost = decision_cost(X, problem)
+                    best_X = X.copy()
+            else:
+                X[new_i, j], X[old_i, j] = 0.0, 1.0
+            temp *= cool
+
+    if best_X is None:
+        return ExactSolution(X=None, objective=np.inf, feasible=False,
+                             nodes_explored=moves)
+    return ExactSolution(X=best_X, objective=float(best_cost), feasible=True,
+                         nodes_explored=moves)

@@ -1,0 +1,254 @@
+"""Matching objectives and their analytic gradients.
+
+Implements, on raw NumPy arrays (solver hot path — no autograd tape):
+
+- Eq. (3):   ``makespan(X, T) = max_i x_iᵀ t_i``;
+- Eq. (16):  the parallel variant ``max_i ζ_i(x_iᵀ1) · x_iᵀ t_i``;
+- Eq. (8/17): the log-sum-exp smoothed makespan f̃;
+- Eq. (4):   the reliability constraint value g(X, A) − γ;
+- Eq. (9):   the barrier objective ``F = f̃ − λ log(g)`` with its gradient
+  ∇_X F used by Algorithm 1, and the cross second derivatives
+  ∇²_XX F, ∇²_XT F, ∇²_XA F used by the KKT differentiation (Eq. 15).
+
+All gradients are verified against finite differences in
+``tests/test_matching_objectives.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.matching.problem import MatchingProblem
+from repro.nn.functional import logsumexp_np, softmax_np
+
+__all__ = [
+    "cluster_loads",
+    "makespan",
+    "smooth_makespan",
+    "smooth_cost",
+    "decision_cost",
+    "penalty_value",
+    "reliability_value",
+    "barrier_value",
+    "barrier_gradient",
+    "BarrierDerivatives",
+    "barrier_second_derivatives",
+    "linear_cost",
+]
+
+
+def cluster_loads(X: np.ndarray, problem: MatchingProblem) -> np.ndarray:
+    """Per-cluster completion times ``c_i = ζ_i(k_i) · x_iᵀ t_i`` (length M)."""
+    sums = np.einsum("ij,ij->i", X, problem.T)
+    if not problem.is_parallel:
+        return sums
+    counts = X.sum(axis=1)
+    zeta = np.array([s.value(np.array(k)) for s, k in zip(problem.speedup_tuple(), counts)])
+    return zeta.ravel() * sums
+
+
+def makespan(X: np.ndarray, problem: MatchingProblem) -> float:
+    """Eq. (3)/(16): the hard max over cluster completion times."""
+    return float(cluster_loads(X, problem).max())
+
+
+def linear_cost(X: np.ndarray, problem: MatchingProblem) -> float:
+    """Ablation (1) of Table 1: sum (instead of max) of cluster times."""
+    return float(cluster_loads(X, problem).sum())
+
+
+def smooth_makespan(X: np.ndarray, problem: MatchingProblem) -> float:
+    """Eq. (8)/(17): ``(1/β) log Σ_i exp(β c_i)``."""
+    c = cluster_loads(X, problem)
+    return float(logsumexp_np(problem.beta * c)) / problem.beta
+
+
+def smooth_cost(X: np.ndarray, problem: MatchingProblem) -> float:
+    """The problem's smooth time-cost: LSE makespan, or the plain sum for
+    the ``cost="linear"`` ablation (Table 1, experiment (1))."""
+    if problem.cost == "linear":
+        return linear_cost(X, problem)
+    return smooth_makespan(X, problem)
+
+
+def decision_cost(X: np.ndarray, problem: MatchingProblem) -> float:
+    """The *discrete* cost the matching decision optimizes: the hard max
+    for makespan problems, the sum for the linear-cost ablation.  Used by
+    rounding and exact solvers so ablation variants make decisions under
+    their own objective (evaluation metrics always use the true makespan)."""
+    if problem.cost == "linear":
+        return linear_cost(X, problem)
+    return makespan(X, problem)
+
+
+def penalty_value(X: np.ndarray, problem: MatchingProblem) -> float:
+    """Constraint term: ``−λ log(g)`` (interior point) or the ablation's
+    hinge ``λ max(0, −g)``; +inf signals barrier infeasibility."""
+    slack = reliability_value(X, problem)
+    if problem.penalty == "hinge":
+        return problem.lam * max(0.0, -slack)
+    if slack <= 0:
+        return float("inf")
+    return -problem.lam * float(np.log(slack))
+
+
+def reliability_value(X: np.ndarray, problem: MatchingProblem) -> float:
+    """Eq. (4): ``g(X, A) = (1/MN) Σ_i x_iᵀ a_i − γ``."""
+    return problem.reliability_slack(X)
+
+
+_XLOG_EPS = 1e-12
+
+
+def _entropy_term(X: np.ndarray, tau: float) -> float:
+    """τ Σ x log x with the 0·log 0 = 0 convention."""
+    if tau == 0.0:
+        return 0.0
+    Xc = np.maximum(X, _XLOG_EPS)
+    return float(tau * np.sum(Xc * np.log(Xc)))
+
+
+def barrier_value(X: np.ndarray, problem: MatchingProblem) -> float:
+    """Eq. (9): ``F(X, T, A) = f̃(X, T) − λ log(g(X, A))`` plus the optional
+    entropy regularizer ``τ Σ x log x`` (see :class:`MatchingProblem`),
+    dispatching on the problem's ``cost``/``penalty`` ablation knobs.
+
+    Returns ``+inf`` outside the log barrier's domain (g ≤ 0) so line
+    searches can reject infeasible steps without special-casing.
+    """
+    pen = penalty_value(X, problem)
+    if not np.isfinite(pen):
+        return float("inf")
+    return smooth_cost(X, problem) + pen + _entropy_term(X, problem.entropy)
+
+
+def _load_details(
+    X: np.ndarray, problem: MatchingProblem
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Return (c, sums, zeta, dzeta): loads and ζ values/derivatives at the
+    current fractional counts (zeta=1, dzeta=0 in the sequential case)."""
+    sums = np.einsum("ij,ij->i", X, problem.T)
+    M = problem.M
+    if not problem.is_parallel:
+        ones = np.ones(M)
+        return sums, sums, ones, np.zeros(M)
+    counts = X.sum(axis=1)
+    sp = problem.speedup_tuple()
+    zeta = np.array([float(s.value(np.array(k))) for s, k in zip(sp, counts)])
+    dzeta = np.array([float(s.derivative(np.array(k))) for s, k in zip(sp, counts)])
+    return zeta * sums, sums, zeta, dzeta
+
+
+def barrier_gradient(X: np.ndarray, problem: MatchingProblem) -> np.ndarray:
+    """∇_X F for Eq. (9), valid for both sequential and parallel objectives.
+
+    With ``w = softmax(β c)`` the smoothed-max term contributes
+    ``w_i · ∂c_i/∂x_ij`` where ``∂c_i/∂x_ij = ζ'_i(k_i)·s_i + ζ_i(k_i)·t_ij``
+    (the first term vanishing in the sequential case); the barrier term
+    contributes ``−λ a_ij / (MN·g)``.
+    """
+    c, sums, zeta, dzeta = _load_details(X, problem)
+    if problem.cost == "linear":
+        w = np.ones(problem.M)
+    else:
+        w = softmax_np(problem.beta * c)
+    # dc_i/dx_ij rows: ζ'_i s_i (constant per row) + ζ_i t_ij.
+    dc = dzeta[:, None] * sums[:, None] + zeta[:, None] * problem.T
+    grad = w[:, None] * dc
+    slack = reliability_value(X, problem)
+    if problem.penalty == "hinge":
+        if slack < 0:
+            # d/dX λ(γ − g) = −λ A / (MN); zero subgradient when satisfied —
+            # exactly the vanishing-gradient pathology Table 1 probes.
+            grad -= problem.lam * problem.A / (problem.M * problem.N)
+    else:
+        if slack <= 0:
+            raise ValueError("barrier gradient evaluated at an infeasible point (g <= 0)")
+        grad -= problem.lam * problem.A / (problem.M * problem.N * slack)
+    if problem.entropy:
+        grad += problem.entropy * (1.0 + np.log(np.maximum(X, _XLOG_EPS)))
+    return grad
+
+
+@dataclass(frozen=True)
+class BarrierDerivatives:
+    """Second-order data for the KKT linear system (Eq. 15).
+
+    With P = M·N and vec() flattening row-major over (cluster, task):
+
+    - ``H``: ∇²_XX F, shape (P, P);
+    - ``C_T``: ∇²_XT F, shape (P, P) — ∂(∇_X F)_{ij} / ∂T_{kl};
+    - ``C_A``: ∇²_XA F, shape (P, P) — ∂(∇_X F)_{ij} / ∂A_{kl}.
+    """
+
+    H: np.ndarray
+    C_T: np.ndarray
+    C_A: np.ndarray
+
+
+def barrier_second_derivatives(X: np.ndarray, problem: MatchingProblem) -> BarrierDerivatives:
+    """Analytic ∇²_XX F, ∇²_XT F, ∇²_XA F for the *sequential* objective.
+
+    Only the convex (ζ ≡ 1) case is supported — exactly the regime where
+    the paper applies analytical differentiation (MFCP-AD); the parallel
+    case uses the zeroth-order path instead.
+
+    Derivation (w = softmax(βc), c_i = x_iᵀt_i, s = g(X,A) = Σ/MN − γ):
+
+    - ∇²_XX: ``β t_ij t_kl (δ_ik w_i − w_i w_k) + λ a_ij a_kl / (MN s)²``
+    - ∇²_XT: ``w_i δ_ik δ_jl + β t_ij x_kl (δ_ik w_i − w_i w_k)``
+    - ∇²_XA: ``−λ δ_ik δ_jl / (MN s) + λ a_ij x_kl / (MN s)² / 1``
+      (from differentiating ``−λ a_ij/(MN s)`` w.r.t. a_kl, using
+      ∂s/∂a_kl = x_kl / MN).
+    """
+    if problem.is_parallel:
+        raise ValueError(
+            "analytic second derivatives require the sequential (convex) objective; "
+            "use the zeroth-order estimator for parallel execution"
+        )
+    M, N = problem.M, problem.N
+    P = M * N
+    T, A = problem.T, problem.A
+    beta, lam = problem.beta, problem.lam
+
+    c = np.einsum("ij,ij->i", X, T)
+    slack = reliability_value(X, problem)
+
+    t_flat = T.ravel()
+    a_flat = A.ravel()
+    x_flat = X.ravel()
+    eye = np.eye(P)
+
+    if problem.cost == "linear":
+        # ∇_X f = T exactly: no curvature, unit cross-derivative.
+        H = np.zeros((P, P))
+        C_T = eye.copy()
+    else:
+        w = softmax_np(beta * c)
+        w_row = np.repeat(w, N)  # w_i broadcast over tasks, length P
+        cluster_of = np.repeat(np.arange(M), N)
+        same_cluster = (cluster_of[:, None] == cluster_of[None, :]).astype(np.float64)
+        # d w_i / d c_k = β (δ_ik w_i − w_i w_k); expand to P×P through t/x.
+        dw = beta * (same_cluster * w_row[:, None] - np.outer(w_row, w_row))
+        H = dw * np.outer(t_flat, t_flat)
+        C_T = w_row[:, None] * eye + dw * np.outer(t_flat, x_flat)
+
+    if problem.penalty == "hinge":
+        # Piecewise linear: zero curvature; ∂(∇_X F)/∂A = −λ/(MN)·I only
+        # while the constraint is violated, zero otherwise — the
+        # degenerate gradients the interior-point method is there to fix.
+        C_A = (-(lam / (M * N)) * eye) if slack < 0 else np.zeros((P, P))
+    else:
+        if slack <= 0:
+            raise ValueError("second derivatives evaluated at an infeasible point (g <= 0)")
+        mn_s = M * N * slack
+        H = H + (lam / mn_s**2) * np.outer(a_flat, a_flat)
+        # ∂/∂a_kl [−λ a_ij/(MN s)] with ∂s/∂a_kl = x_kl/(MN):
+        C_A = -(lam / mn_s) * eye + (lam / (mn_s**2)) * np.outer(a_flat, x_flat)
+
+    if problem.entropy:
+        H = H + np.diag(problem.entropy / np.maximum(x_flat, _XLOG_EPS))
+
+    return BarrierDerivatives(H=H, C_T=C_T, C_A=C_A)

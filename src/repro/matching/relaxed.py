@@ -1,0 +1,172 @@
+"""Algorithm 1: optimal matching of the relaxed problem by gradient descent.
+
+Solves the barrier-smoothed lower-level problem (Eq. 10)
+
+    min_X  F(X, T, A)   s.t.   Σ_i x_i = 1_N,  x ∈ [0, 1]
+
+by projected first-order iterations.  Three projection rules are provided:
+
+- ``"softmax"`` — the paper's literal Algorithm 1 (gradient step on X then
+  per-task softmax).  Simple but slow: softmax of near-uniform values
+  contracts towards the barycenter, so many iterations are needed.
+- ``"mirror"`` — exponentiated-gradient / mirror descent on the simplex
+  (multiplicative update then normalization).  Mathematically the natural
+  form of the paper's softmax idea (it *is* softmax of accumulated scaled
+  gradients) and much faster; this is the default.
+- ``"euclidean"`` — Euclidean projection onto the per-task simplex.
+
+Every iterate stays strictly inside the barrier's domain via backtracking:
+a step that would make the reliability slack non-positive is halved until
+feasible, mirroring interior-point practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.matching.objectives import barrier_gradient, barrier_value
+from repro.matching.problem import MatchingProblem
+from repro.nn.functional import softmax_np
+
+__all__ = ["SolverConfig", "RelaxedSolution", "solve_relaxed", "project_simplex_columns"]
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Hyperparameters of Algorithm 1."""
+
+    lr: float = 0.5
+    max_iters: int = 300
+    tol: float = 1e-7  # stop when the objective improves less than this
+    projection: str = "mirror"  # "mirror" | "softmax" | "euclidean"
+    backtrack: int = 30  # max step halvings to stay strictly feasible
+    patience: int = 5  # consecutive small-improvement iters before stopping
+    #: Scale the mirror step by 1/max|∇F| each iteration.  Near the barrier
+    #: boundary the gradient magnitude explodes; a normalized step keeps the
+    #: multiplicative update bounded and prevents the solver from crawling
+    #: (observed on ~10% of random instances without it).
+    normalize_steps: bool = True
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ValueError(f"lr must be > 0, got {self.lr}")
+        if self.max_iters <= 0:
+            raise ValueError(f"max_iters must be > 0, got {self.max_iters}")
+        if self.projection not in ("mirror", "softmax", "euclidean"):
+            raise ValueError(f"unknown projection {self.projection!r}")
+        if self.backtrack < 1:
+            raise ValueError("backtrack must be >= 1")
+
+
+@dataclass(frozen=True)
+class RelaxedSolution:
+    """Result of a relaxed solve."""
+
+    X: np.ndarray
+    objective: float  # F at the solution
+    iterations: int
+    converged: bool
+    history: np.ndarray = field(repr=False)  # objective value per iteration
+
+
+def project_simplex_columns(X: np.ndarray) -> np.ndarray:
+    """Euclidean projection of each column onto the probability simplex
+    (Duchi et al. 2008), vectorized over columns."""
+    M, N = X.shape
+    # Sort descending per column.
+    U = -np.sort(-X, axis=0)
+    css = np.cumsum(U, axis=0) - 1.0
+    ks = np.arange(1, M + 1)[:, None]
+    cond = U - css / ks > 0
+    rho = M - np.argmax(cond[::-1], axis=0) - 1  # last index where cond holds
+    theta = css[rho, np.arange(N)] / (rho + 1.0)
+    return np.maximum(X - theta[None, :], 0.0)
+
+
+def _project(X: np.ndarray, rule: str) -> np.ndarray:
+    if rule == "euclidean":
+        return project_simplex_columns(X)
+    # "softmax" (paper-literal) — mirror handles its own update inline.
+    return softmax_np(X, axis=0)
+
+
+def solve_relaxed(
+    problem: MatchingProblem,
+    config: SolverConfig | None = None,
+    *,
+    x0: np.ndarray | None = None,
+) -> RelaxedSolution:
+    """Run Algorithm 1 and return the relaxed optimal matching.
+
+    Parameters
+    ----------
+    problem:
+        The matching instance (predicted or ground-truth matrices).
+    config:
+        Solver hyperparameters; defaults to :class:`SolverConfig`.
+    x0:
+        Warm start (must be strictly feasible); defaults to the uniform
+        assignment.  Warm starting from a previous solve is how the
+        zeroth-order estimator keeps its perturbed solves cheap.
+    """
+    cfg = config or SolverConfig()
+    X = problem.feasible_start() if x0 is None else np.array(x0, dtype=np.float64)
+    if X.shape != (problem.M, problem.N):
+        raise ValueError(f"x0 must have shape {(problem.M, problem.N)}, got {X.shape}")
+    if not problem.is_strictly_feasible(X):
+        # A warm start from a neighbouring instance can be (mildly)
+        # infeasible for this one; fall back to the interior point.
+        X = problem.feasible_start()
+
+    f_cur = barrier_value(X, problem)
+    history = np.empty(cfg.max_iters + 1)
+    history[0] = f_cur
+    best_X, best_f = X, f_cur
+    stall = 0
+    it = 0
+    # The paper-literal "softmax" rule is not a descent method (softmax of a
+    # near-uniform matrix contracts to the barycenter), so it runs in
+    # non-monotone mode tracking the best iterate, exactly like Algorithm 1.
+    monotone = cfg.projection != "softmax"
+    for it in range(1, cfg.max_iters + 1):
+        grad = barrier_gradient(X, problem)
+        step = cfg.lr
+        if cfg.normalize_steps and cfg.projection == "mirror":
+            step = cfg.lr / max(float(np.abs(grad).max()), 1e-9)
+        accepted = False
+        for _ in range(cfg.backtrack):
+            if cfg.projection == "mirror":
+                # Multiplicative-weights update; clip the exponent for safety.
+                Z = X * np.exp(-np.clip(step * grad, -50.0, 50.0))
+                X_new = Z / Z.sum(axis=0, keepdims=True)
+            else:
+                X_new = _project(X - step * grad, cfg.projection)
+            f_new = barrier_value(X_new, problem)
+            if np.isfinite(f_new) and (not monotone or f_new <= f_cur + 1e-12):
+                accepted = True
+                break
+            step *= 0.5
+        if not accepted:
+            history = history[: it + 1]
+            history[it] = best_f
+            return RelaxedSolution(X=best_X, objective=best_f, iterations=it,
+                                   converged=True, history=history.copy())
+        improvement = f_cur - f_new
+        X, f_cur = X_new, f_new
+        if f_cur < best_f:
+            best_X, best_f = X, f_cur
+        history[it] = f_cur
+        if abs(improvement) < cfg.tol:
+            stall += 1
+            if stall >= cfg.patience:
+                history = history[: it + 1]
+                return RelaxedSolution(X=best_X, objective=best_f, iterations=it,
+                                       converged=True, history=history.copy())
+        else:
+            stall = 0
+    return RelaxedSolution(
+        X=best_X, objective=best_f, iterations=it, converged=False,
+        history=history[: it + 1].copy()
+    )

@@ -1,0 +1,130 @@
+"""Rounding relaxed assignments to binary matchings.
+
+§3.2: "during testing or system deployment, the matching X* is obtained
+using the continuous version of the matching optimization algorithm and
+subsequently rounded to produce discrete solutions."
+
+``round_assignment`` does per-task argmax rounding followed by two repair
+passes:
+
+1. **feasibility repair** — if the rounded matching violates the
+   reliability constraint, greedily move tasks to more reliable clusters,
+   choosing at each step the move with the best reliability gain per unit
+   of makespan increase;
+2. **local search** (optional) — single-task reassignments that strictly
+   reduce the objective while keeping feasibility, until a local optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matching.objectives import decision_cost, reliability_value
+from repro.matching.problem import MatchingProblem
+
+__all__ = ["round_assignment", "assignment_from_labels", "labels_from_assignment"]
+
+
+def assignment_from_labels(labels: np.ndarray, m: int) -> np.ndarray:
+    """Build the binary M×N matrix from per-task cluster indices."""
+    labels = np.asarray(labels, dtype=np.int64)
+    n = labels.shape[0]
+    if labels.min() < 0 or labels.max() >= m:
+        raise ValueError("labels out of range")
+    X = np.zeros((m, n))
+    X[labels, np.arange(n)] = 1.0
+    return X
+
+
+def labels_from_assignment(X: np.ndarray) -> np.ndarray:
+    """Per-task cluster indices of a (relaxed or binary) assignment."""
+    return np.asarray(X).argmax(axis=0)
+
+
+def round_assignment(
+    X: np.ndarray,
+    problem: MatchingProblem,
+    *,
+    repair: bool = True,
+    local_search: bool = True,
+    max_moves: int = 200,
+) -> np.ndarray:
+    """Round a relaxed assignment to binary and repair it (see module doc)."""
+    labels = labels_from_assignment(X)
+    Xb = assignment_from_labels(labels, problem.M)
+
+    if repair and reliability_value(Xb, problem) < 0:
+        Xb = _repair_reliability(Xb, problem, max_moves)
+    if local_search:
+        Xb = _local_search(Xb, problem, max_moves)
+    return Xb
+
+
+def _repair_reliability(X: np.ndarray, problem: MatchingProblem, max_moves: int) -> np.ndarray:
+    """Greedy repair: move tasks to more reliable clusters until g >= 0.
+
+    Each move maximizes reliability gain per unit makespan degradation.
+    Terminates with a best-effort matching if no improving move exists
+    (the instance may simply be infeasible in the discrete domain).
+    """
+    X = X.copy()
+    A, T = problem.A, problem.T
+    for _ in range(max_moves):
+        slack = reliability_value(X, problem)
+        if slack >= 0:
+            return X
+        labels = labels_from_assignment(X)
+        cur_rel = A[labels, np.arange(problem.N)]
+        # Candidate moves: (task j, target cluster i) with reliability gain.
+        gain = A - cur_rel[None, :]
+        gain[labels, np.arange(problem.N)] = -np.inf
+        best_score, best_move = -np.inf, None
+        base_cost = decision_cost(X, problem)
+        for j in range(problem.N):
+            for i in range(problem.M):
+                if gain[i, j] <= 0:
+                    continue
+                X[labels[j], j] = 0.0
+                X[i, j] = 1.0
+                cost_increase = max(decision_cost(X, problem) - base_cost, 1e-9)
+                score = gain[i, j] / cost_increase
+                X[i, j] = 0.0
+                X[labels[j], j] = 1.0
+                if score > best_score:
+                    best_score, best_move = score, (i, j)
+        if best_move is None:
+            return X  # best effort: no reliability-improving move exists
+        i, j = best_move
+        X[labels[j], j] = 0.0
+        X[i, j] = 1.0
+    return X
+
+
+def _local_search(X: np.ndarray, problem: MatchingProblem, max_moves: int) -> np.ndarray:
+    """First-improvement single-task reassignment descent on the objective,
+    rejecting moves that would violate the reliability constraint (when the
+    incoming matching satisfies it)."""
+    X = X.copy()
+    feasible_required = reliability_value(X, problem) >= 0
+    for _ in range(max_moves):
+        base = decision_cost(X, problem)
+        labels = labels_from_assignment(X)
+        improved = False
+        for j in range(problem.N):
+            src = labels[j]
+            for i in range(problem.M):
+                if i == src:
+                    continue
+                X[src, j] = 0.0
+                X[i, j] = 1.0
+                ok = (not feasible_required) or reliability_value(X, problem) >= 0
+                if ok and decision_cost(X, problem) < base - 1e-12:
+                    improved = True
+                    break
+                X[i, j] = 0.0
+                X[src, j] = 1.0
+            if improved:
+                break
+        if not improved:
+            return X
+    return X

@@ -1,0 +1,163 @@
+"""Common interface for the compared methods (paper §4.1.2).
+
+Every method consumes one :class:`FitContext` (clusters + measured training
+data + matching hyperparameters) and then answers allocation rounds through
+``decide`` — producing a binary matching for a given ground-truth problem,
+using only its own *predictions* of that problem's matrices.  The
+evaluation harness computes regret/reliability/utilization from the
+returned matching against the ground truth.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.clusters.cluster import Cluster
+from repro.matching.problem import MatchingProblem, feasible_gamma
+from repro.matching.relaxed import SolverConfig, solve_relaxed
+from repro.matching.rounding import round_assignment
+from repro.matching.speedup import SpeedupFunction
+from repro.predictors.dataset import ClusterDataset, Standardizer, build_datasets
+from repro.utils.rng import as_generator
+from repro.workloads.taskpool import Task
+
+__all__ = ["MatchSpec", "FitContext", "BaseMethod"]
+
+
+@dataclass(frozen=True)
+class MatchSpec:
+    """Matching hyperparameters shared by training and evaluation.
+
+    ``gamma_quantile`` positions the reliability threshold between the
+    uniform-assignment value (0) and the best achievable (1) on each round
+    — see :func:`repro.matching.problem.feasible_gamma`; the platform
+    applies the same rule at training and deployment.
+    """
+
+    gamma_quantile: float = 0.5
+    beta: float = 5.0
+    lam: float = 0.01
+    train_entropy: float = 0.05  # τ for training-time solves (keeps KKT well-posed)
+    speedup: tuple[SpeedupFunction, ...] | None = None
+    solver: SolverConfig = field(default_factory=SolverConfig)
+    cost: str = "makespan"  # "linear" for Table 1 ablation (1)
+    penalty: str = "log_barrier"  # "hinge" for Table 1 ablation (2)
+
+    def build_problem(
+        self, T: np.ndarray, A: np.ndarray, *, training: bool = False
+    ) -> MatchingProblem:
+        """Instantiate Eq. (2)'s relaxation for one allocation round."""
+        gamma = feasible_gamma(T, A, quantile=self.gamma_quantile)
+        return MatchingProblem(
+            T=T,
+            A=A,
+            gamma=gamma,
+            beta=self.beta,
+            lam=self.lam,
+            entropy=self.train_entropy if training else 0.0,
+            speedup=self.speedup,
+            cost=self.cost,
+            penalty=self.penalty,
+        )
+
+
+@dataclass
+class FitContext:
+    """Everything a method may use at training time."""
+
+    clusters: list[Cluster]
+    train_tasks: list[Task]
+    spec: MatchSpec
+    rng: np.random.Generator
+    datasets: list[ClusterDataset] = field(default_factory=list)
+    standardizer: Standardizer | None = None
+
+    @staticmethod
+    def build(
+        clusters: list[Cluster],
+        train_tasks: list[Task],
+        spec: MatchSpec,
+        rng: np.random.Generator | int | None = None,
+    ) -> "FitContext":
+        """Measure the training tasks on every cluster and standardize."""
+        rng = as_generator(rng)
+        datasets = build_datasets(clusters, train_tasks, rng)
+        standardizer = Standardizer.fit(datasets[0].Z)
+        return FitContext(
+            clusters=clusters,
+            train_tasks=train_tasks,
+            spec=spec,
+            rng=rng,
+            datasets=datasets,
+            standardizer=standardizer,
+        )
+
+    @property
+    def feature_dim(self) -> int:
+        return self.train_tasks[0].features.shape[0]
+
+    @property
+    def M(self) -> int:
+        return len(self.clusters)
+
+    def features(self, tasks: list[Task]) -> np.ndarray:
+        return np.stack([t.features for t in tasks])
+
+
+class BaseMethod(ABC):
+    """A matching method: fit once, then decide allocation rounds."""
+
+    #: Short name used in tables (e.g. "TSM", "MFCP-AD").
+    name: str = "base"
+
+    def __init__(self) -> None:
+        self._fitted = False
+        self._spec: MatchSpec | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def fit(self, ctx: FitContext) -> "BaseMethod":
+        """Train on the context; returns self for chaining."""
+        self._spec = ctx.spec
+        self._fit(ctx)
+        self._fitted = True
+        return self
+
+    @abstractmethod
+    def _fit(self, ctx: FitContext) -> None:
+        """Method-specific training."""
+
+    @abstractmethod
+    def predict(self, tasks: list[Task]) -> tuple[np.ndarray, np.ndarray]:
+        """Predicted (T̂, Â) matrices for an allocation round, shape (M, N)."""
+
+    # ------------------------------------------------------------------ #
+
+    def decide(self, true_problem: MatchingProblem, tasks: list[Task]) -> np.ndarray:
+        """Produce the binary matching for one round.
+
+        Default behaviour is the paper's deployment pipeline: build the
+        problem from *predicted* matrices, solve the relaxation, round.
+        Methods that alter the decision objective (ablations) override
+        :meth:`_decision_problem`.
+        """
+        if not self._fitted:
+            raise RuntimeError(f"{self.name}: decide() called before fit()")
+        T_hat, A_hat = self.predict(tasks)
+        problem = self._decision_problem(true_problem.with_predictions(T_hat, A_hat))
+        sol = solve_relaxed(problem, self._solver_config())
+        return round_assignment(sol.X, problem)
+
+    def _decision_problem(self, problem: MatchingProblem) -> MatchingProblem:
+        """Hook for ablations to alter the decision objective."""
+        return problem
+
+    def _solver_config(self) -> SolverConfig:
+        assert self._spec is not None
+        return self._spec.solver
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, fitted={self._fitted})"

@@ -1,0 +1,43 @@
+"""Oracle method: matches with the *true* performance matrices.
+
+Not part of the paper's comparison (its cost is the regret baseline by
+definition), but a useful skyline in experiments and examples: any gap
+between a method and the oracle is prediction-induced, and the oracle's
+own metrics show what the matching layer alone can deliver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.matching.problem import MatchingProblem
+from repro.matching.relaxed import solve_relaxed
+from repro.matching.rounding import round_assignment
+from repro.methods.base import BaseMethod, FitContext
+from repro.workloads.taskpool import Task
+
+__all__ = ["Oracle"]
+
+
+class Oracle(BaseMethod):
+    """Decides with ground-truth T and A (regret ≈ 0 by construction)."""
+
+    name = "Oracle"
+
+    def _fit(self, ctx: FitContext) -> None:
+        self._clusters = ctx.clusters
+
+    def predict(self, tasks: list[Task]) -> tuple[np.ndarray, np.ndarray]:
+        """The oracle "prediction" is the ground truth itself."""
+        if not self._fitted:
+            raise RuntimeError("Oracle.predict called before fit")
+        T = np.stack([c.true_times(tasks) for c in self._clusters])
+        A = np.stack([c.true_reliabilities(tasks) for c in self._clusters])
+        return T, A
+
+    def decide(self, true_problem: MatchingProblem, tasks: list[Task]) -> np.ndarray:
+        """Solve the true problem directly (no prediction substitution)."""
+        if not self._fitted:
+            raise RuntimeError("Oracle.decide called before fit")
+        sol = solve_relaxed(true_problem, self._solver_config())
+        return round_assignment(sol.X, true_problem)

@@ -1,0 +1,39 @@
+"""Task-Agnostic Matching (TAM) baseline (paper §4.1.2).
+
+"This naive method ignores task variations in execution time and
+reliability, using average cluster performance across tasks to solve
+problem (2)."  Each cluster is summarized by the mean measured time and
+reliability over the training set; every task receives the same predicted
+row.  Deterministic given the training data — the paper's Table 2 shows
+±0.000 std for TAM for exactly this reason.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.methods.base import BaseMethod, FitContext
+from repro.workloads.taskpool import Task
+
+__all__ = ["TAM"]
+
+
+class TAM(BaseMethod):
+    name = "TAM"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mean_t: np.ndarray | None = None
+        self._mean_a: np.ndarray | None = None
+
+    def _fit(self, ctx: FitContext) -> None:
+        self._mean_t = np.array([ds.t.mean() for ds in ctx.datasets])
+        self._mean_a = np.array([ds.a.mean() for ds in ctx.datasets])
+
+    def predict(self, tasks: list[Task]) -> tuple[np.ndarray, np.ndarray]:
+        if self._mean_t is None or self._mean_a is None:
+            raise RuntimeError("TAM.predict called before fit")
+        n = len(tasks)
+        T_hat = np.repeat(self._mean_t[:, None], n, axis=1)
+        A_hat = np.repeat(self._mean_a[:, None], n, axis=1)
+        return T_hat, A_hat

@@ -1,0 +1,57 @@
+"""Two-Stage Method (TSM) baseline (paper §4.1.2, citing Yang et al. [39]).
+
+"Independently trains cluster performance predictors by minimizing MSE
+loss, then solves problem (2) using predicted values" — the canonical
+predict-then-optimize pipeline MFCP is measured against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.methods.base import BaseMethod, FitContext
+from repro.predictors.models import PredictorPair
+from repro.predictors.training import TrainConfig, train_reliability, train_time_mse
+from repro.utils.rng import spawn
+from repro.workloads.taskpool import Task
+
+__all__ = ["TSM"]
+
+
+class TSM(BaseMethod):
+    name = "TSM"
+
+    def __init__(
+        self,
+        hidden: tuple[int, ...] = (32, 32),
+        train_config: TrainConfig | None = None,
+    ) -> None:
+        super().__init__()
+        self.hidden = hidden
+        self.train_config = train_config or TrainConfig(epochs=200)
+        self._pairs: list[PredictorPair] = []
+
+    def _fit(self, ctx: FitContext) -> None:
+        self._pairs = []
+        for ds in ctx.datasets:
+            pair = PredictorPair(
+                ctx.feature_dim, self.hidden,
+                standardizer=ctx.standardizer, rng=spawn(ctx.rng),
+            )
+            train_time_mse(pair.time, ds.Z, ds.t, self.train_config, spawn(ctx.rng))
+            train_reliability(pair.reliability, ds.Z, ds.a, self.train_config, spawn(ctx.rng))
+            self._pairs.append(pair)
+
+    def predict(self, tasks: list[Task]) -> tuple[np.ndarray, np.ndarray]:
+        if not self._pairs:
+            raise RuntimeError("TSM.predict called before fit")
+        Z = np.stack([t.features for t in tasks])
+        rows = [pair.predict(Z) for pair in self._pairs]
+        T_hat = np.stack([r[0] for r in rows])
+        A_hat = np.stack([r[1] for r in rows])
+        return T_hat, A_hat
+
+    @property
+    def pairs(self) -> list[PredictorPair]:
+        """The trained per-cluster predictor pairs (used by MFCP warm start)."""
+        return self._pairs

@@ -1,0 +1,64 @@
+"""From-scratch NumPy autograd + neural-network substrate.
+
+The MFCP paper's predictors are small fully-connected networks trained by
+backpropagating a matching-regret loss (Eq. 7).  This package provides the
+complete training stack: reverse-mode autodiff tensors, layers, losses,
+optimizers, initializers, and checkpointing — with gradients property-tested
+against finite differences in ``tests/test_nn_*``.
+"""
+
+from repro.nn import functional, init, ops
+from repro.nn.layers import (
+    MLP,
+    Dropout,
+    Identity,
+    LeakyReLU,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Softplus,
+    Tanh,
+)
+from repro.nn.losses import bce_loss, huber_loss, mae_loss, mse_loss
+from repro.nn.optim import SGD, Adam, CosineLR, Optimizer, StepLR, clip_grad_norm
+from repro.nn.serialization import load_module, save_module
+from repro.nn.tensor import Tensor, as_tensor, concatenate, is_grad_enabled, no_grad, stack
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "stack",
+    "concatenate",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "functional",
+    "init",
+    "Module",
+    "Parameter",
+    "Linear",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softplus",
+    "LeakyReLU",
+    "Identity",
+    "Dropout",
+    "Sequential",
+    "MLP",
+    "mse_loss",
+    "mae_loss",
+    "huber_loss",
+    "bce_loss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "CosineLR",
+    "clip_grad_norm",
+    "save_module",
+    "load_module",
+]

@@ -1,0 +1,60 @@
+"""Loss functions for predictor training.
+
+The two-stage baseline (TSM) minimizes MSE per Eq. (1) of the paper;
+the reliability head uses BCE as a better-calibrated alternative that we
+expose alongside.  MFCP replaces these with the matching-regret loss built
+in :mod:`repro.methods.mfcp`, which composes tensors directly — these
+helpers remain useful there for warm-start pretraining.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import ops
+from repro.nn.tensor import Tensor, as_tensor
+
+__all__ = ["mse_loss", "mae_loss", "huber_loss", "bce_loss"]
+
+
+def mse_loss(pred: Tensor, target: "Tensor | np.ndarray") -> Tensor:
+    """Mean squared error, Eq. (1): ``(1/n) ||target − pred||²``."""
+    pred = as_tensor(pred)
+    target = as_tensor(target)
+    diff = pred - target.detach()
+    return (diff * diff).mean()
+
+
+def mae_loss(pred: Tensor, target: "Tensor | np.ndarray") -> Tensor:
+    """Mean absolute error (L1)."""
+    pred = as_tensor(pred)
+    target = as_tensor(target)
+    return ops.abs_(pred - target.detach()).mean()
+
+
+def huber_loss(pred: Tensor, target: "Tensor | np.ndarray", delta: float = 1.0) -> Tensor:
+    """Huber loss: quadratic within ``delta`` of the target, linear outside."""
+    if delta <= 0:
+        raise ValueError(f"delta must be > 0, got {delta}")
+    pred = as_tensor(pred)
+    target = as_tensor(target)
+    diff = pred - target.detach()
+    absdiff = ops.abs_(diff)
+    quadratic = diff * diff * 0.5
+    linear = absdiff * delta - 0.5 * delta * delta
+    small = absdiff.data <= delta
+    return ops.where(small, quadratic, linear).mean()
+
+
+def bce_loss(pred: Tensor, target: "Tensor | np.ndarray", eps: float = 1e-7) -> Tensor:
+    """Binary cross-entropy on probabilities in (0, 1).
+
+    Predictions are clipped to ``[eps, 1-eps]`` for numerical safety; the
+    clip has zero gradient only at saturated predictions, which is the
+    desired behaviour.
+    """
+    pred = as_tensor(pred)
+    target = as_tensor(target).detach()
+    p = ops.clip(pred, eps, 1.0 - eps)
+    t = target.data
+    return -(ops.log(p) * t + ops.log(1.0 - p) * (1.0 - t)).mean()

@@ -1,0 +1,178 @@
+"""First-order optimizers and learning-rate schedules.
+
+All optimizers operate on :class:`~repro.nn.layers.Parameter` leaves and
+mutate their raw ``.data`` buffers between graph constructions — each
+training step builds a fresh tape, so in-place parameter updates are safe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "CosineLR",
+    "clip_grad_norm",
+]
+
+
+class Optimizer:
+    """Base optimizer: holds the parameter list and a mutable learning rate."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float) -> None:
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be > 0, got {lr}")
+        self.lr = float(lr)
+        self.steps = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be >= 0, got {weight_decay}")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity: list[np.ndarray] = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.steps += 1
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                update = g + self.momentum * v if self.nesterov else v
+            else:
+                update = g
+            p.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam with bias correction (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.betas = (float(b1), float(b2))
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.steps += 1
+        b1, b2 = self.betas
+        bc1 = 1.0 - b1**self.steps
+        bc2 = 1.0 - b2**self.steps
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * (g * g)
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class StepLR:
+    """Multiply the optimizer's lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        if step_size <= 0:
+            raise ValueError(f"step_size must be > 0, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError(f"gamma must be in (0, 1], got {gamma}")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+        self._base_lr = optimizer.lr
+
+    def step(self) -> None:
+        self._epoch += 1
+        self.optimizer.lr = self._base_lr * self.gamma ** (self._epoch // self.step_size)
+
+
+class CosineLR:
+    """Cosine annealing from the initial lr down to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0) -> None:
+        if t_max <= 0:
+            raise ValueError(f"t_max must be > 0, got {t_max}")
+        self.optimizer = optimizer
+        self.t_max = t_max
+        self.eta_min = eta_min
+        self._epoch = 0
+        self._base_lr = optimizer.lr
+
+    def step(self) -> None:
+        self._epoch = min(self._epoch + 1, self.t_max)
+        cos = 0.5 * (1.0 + np.cos(np.pi * self._epoch / self.t_max))
+        self.optimizer.lr = self.eta_min + (self._base_lr - self.eta_min) * cos
+
+
+def clip_grad_norm(params: "Sequence[Parameter] | Iterable[Parameter]", max_norm: float) -> float:
+    """Rescale gradients so the global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm; used by the MFCP training loop to tame the
+    occasional large zeroth-order estimate.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be > 0, got {max_norm}")
+    params = [p for p in params if p.grad is not None]
+    if not params:
+        return 0.0
+    total = float(np.sqrt(sum(float(np.sum(p.grad**2)) for p in params)))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for p in params:
+            p.grad *= scale
+    return total

@@ -1,0 +1,27 @@
+"""Cluster performance predictors: datasets, MLP heads, training loops,
+ensemble uncertainty (the m_ω / m_φ stack of paper §2.1)."""
+
+from repro.predictors.dataset import ClusterDataset, Standardizer, build_datasets
+from repro.predictors.models import PredictorPair, ReliabilityPredictor, TimePredictor
+from repro.predictors.training import (
+    TrainConfig,
+    TrainResult,
+    train_reliability,
+    train_time_mse,
+)
+from repro.predictors.uncertainty import EnsembleReliabilityPredictor, EnsembleTimePredictor
+
+__all__ = [
+    "ClusterDataset",
+    "Standardizer",
+    "build_datasets",
+    "TimePredictor",
+    "ReliabilityPredictor",
+    "PredictorPair",
+    "TrainConfig",
+    "TrainResult",
+    "train_time_mse",
+    "train_reliability",
+    "EnsembleTimePredictor",
+    "EnsembleReliabilityPredictor",
+]

@@ -1,0 +1,90 @@
+"""Per-cluster training datasets D = {z, t, a} (paper Eq. 1 context).
+
+Builds predictor training data by running tasks on clusters through the
+noisy measurement pipeline, and owns the feature standardization that the
+predictors share between training and deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clusters.cluster import Cluster
+from repro.utils.rng import as_generator
+from repro.workloads.taskpool import Task
+
+__all__ = ["Standardizer", "ClusterDataset", "build_datasets"]
+
+
+@dataclass(frozen=True)
+class Standardizer:
+    """Affine feature map fitted on training features (z − mean) / std."""
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    @staticmethod
+    def fit(Z: np.ndarray) -> "Standardizer":
+        Z = np.asarray(Z, dtype=np.float64)
+        if Z.ndim != 2:
+            raise ValueError("Z must be 2-D (samples × features)")
+        std = Z.std(axis=0)
+        return Standardizer(mean=Z.mean(axis=0), std=np.where(std > 1e-9, std, 1.0))
+
+    def transform(self, Z: np.ndarray) -> np.ndarray:
+        return (np.asarray(Z, dtype=np.float64) - self.mean) / self.std
+
+
+@dataclass(frozen=True)
+class ClusterDataset:
+    """Measured training data of one cluster.
+
+    ``Z`` holds raw (unstandardized) features; ``t`` observed times (hours);
+    ``a`` observed success-probability estimates.
+    """
+
+    cluster_id: int
+    Z: np.ndarray
+    t: np.ndarray
+    a: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.Z) == len(self.t) == len(self.a)):
+            raise ValueError("Z, t, a must have matching lengths")
+        if np.any(self.t <= 0):
+            raise ValueError("observed times must be positive")
+        if np.any((self.a < 0) | (self.a > 1)):
+            raise ValueError("observed reliabilities must lie in [0, 1]")
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+
+def build_datasets(
+    clusters: "list[Cluster]",
+    train_tasks: "list[Task]",
+    rng: np.random.Generator | int | None = None,
+) -> list[ClusterDataset]:
+    """Measure every training task on every cluster (the paper's protocol:
+    "we run the tasks directly on each cluster ... to obtain their actual
+    execution times and reliability metrics")."""
+    if not clusters:
+        raise ValueError("clusters must be non-empty")
+    if not train_tasks:
+        raise ValueError("train_tasks must be non-empty")
+    rng = as_generator(rng)
+    Z = np.stack([task.features for task in train_tasks])
+    datasets = []
+    for cluster in clusters:
+        ms = cluster.measure_batch(train_tasks, rng)
+        datasets.append(
+            ClusterDataset(
+                cluster_id=cluster.cluster_id,
+                Z=Z,
+                t=np.array([m.time_hours for m in ms]),
+                a=np.array([m.reliability for m in ms]),
+            )
+        )
+    return datasets

@@ -1,0 +1,120 @@
+"""Cluster-specific performance predictors (paper §2.1).
+
+Two MLP heads per cluster, matching the paper's setup ("we only utilized
+fully connected layers"):
+
+- :class:`TimePredictor` — ``t̂ = exp(h_ω(z))``: the network regresses
+  log-time, which linearizes the multiplicative structure of execution
+  times (roofline ratios, affinity multipliers) and keeps t̂ > 0;
+- :class:`ReliabilityPredictor` — ``â = σ(h_φ(z))`` ∈ (0, 1).
+
+Both expose a tape-building ``forward`` (for end-to-end regret training)
+and a tape-free ``predict``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn import MLP, Tensor, no_grad, ops
+from repro.nn.layers import Module
+from repro.predictors.dataset import Standardizer
+from repro.utils.rng import as_generator
+
+__all__ = ["TimePredictor", "ReliabilityPredictor", "PredictorPair"]
+
+#: Clamp on the log-time head: e^{±8} spans ~3e-4 .. 3e3 hours, far beyond
+#: any real task, while preventing overflow from an untrained network.
+_LOG_T_CLIP = 8.0
+
+
+class TimePredictor(Module):
+    """Execution-time head: MLP in log-time space, exponentiated output."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int] = (32, 32),
+        *,
+        standardizer: Standardizer | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        self.net = MLP(in_features, hidden, 1, activation="relu", output="identity",
+                       rng=as_generator(rng))
+        self.standardizer = standardizer
+
+    def _prep(self, Z: np.ndarray) -> np.ndarray:
+        Z = np.atleast_2d(np.asarray(Z, dtype=np.float64))
+        if self.standardizer is not None:
+            Z = self.standardizer.transform(Z)
+        return Z
+
+    def forward(self, Z: "np.ndarray | Tensor") -> Tensor:
+        """Differentiable prediction: returns t̂ as a length-N tensor."""
+        if isinstance(Z, Tensor):
+            raise TypeError("pass raw features; the predictor standardizes internally")
+        x = Tensor(self._prep(Z))
+        log_t = ops.clip(self.net(x), -_LOG_T_CLIP, _LOG_T_CLIP)
+        return ops.exp(log_t).reshape(-1)
+
+    def predict(self, Z: np.ndarray) -> np.ndarray:
+        """Tape-free t̂ (shape (N,))."""
+        with no_grad():
+            return self.forward(Z).data.copy()
+
+
+class ReliabilityPredictor(Module):
+    """Reliability head: MLP with a logistic output, â ∈ (0, 1)."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int] = (32, 32),
+        *,
+        standardizer: Standardizer | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        super().__init__()
+        self.net = MLP(in_features, hidden, 1, activation="relu", output="sigmoid",
+                       rng=as_generator(rng))
+        self.standardizer = standardizer
+
+    def _prep(self, Z: np.ndarray) -> np.ndarray:
+        Z = np.atleast_2d(np.asarray(Z, dtype=np.float64))
+        if self.standardizer is not None:
+            Z = self.standardizer.transform(Z)
+        return Z
+
+    def forward(self, Z: "np.ndarray | Tensor") -> Tensor:
+        if isinstance(Z, Tensor):
+            raise TypeError("pass raw features; the predictor standardizes internally")
+        return self.net(Tensor(self._prep(Z))).reshape(-1)
+
+    def predict(self, Z: np.ndarray) -> np.ndarray:
+        with no_grad():
+            return self.forward(Z).data.copy()
+
+
+class PredictorPair:
+    """The (m_ω, m_φ) pair of one cluster, built with independent seeds."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Sequence[int] = (32, 32),
+        *,
+        standardizer: Standardizer | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        rng = as_generator(rng)
+        self.time = TimePredictor(in_features, hidden, standardizer=standardizer, rng=rng)
+        self.reliability = ReliabilityPredictor(
+            in_features, hidden, standardizer=standardizer, rng=rng
+        )
+
+    def predict(self, Z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(t̂, â) for a feature matrix — the per-cluster prediction rows."""
+        return self.time.predict(Z), self.reliability.predict(Z)

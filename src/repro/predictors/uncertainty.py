@@ -1,0 +1,108 @@
+"""Ensemble uncertainty estimation for the UCB baseline (paper §4.1.2).
+
+The UCB method "selects the solution with the highest upper confidence
+bound rather than the best-performing matching scheme" — it needs
+per-prediction uncertainty.  We use the classic deep-ensemble estimate:
+K predictors trained on bootstrap resamples with independent inits; the
+ensemble mean is the prediction, the ensemble std the uncertainty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.predictors.dataset import Standardizer
+from repro.predictors.models import ReliabilityPredictor, TimePredictor
+from repro.predictors.training import TrainConfig, train_reliability, train_time_mse
+from repro.utils.rng import as_generator, spawn
+
+__all__ = ["EnsembleTimePredictor", "EnsembleReliabilityPredictor"]
+
+
+@dataclass(frozen=True)
+class _EnsembleOutput:
+    mean: np.ndarray
+    std: np.ndarray
+
+
+class _Ensemble:
+    """Shared bootstrap-ensemble machinery for both heads."""
+
+    def __init__(self, members: Sequence[object]) -> None:
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        self.members = list(members)
+
+    def _stats(self, Z: np.ndarray) -> _EnsembleOutput:
+        preds = np.stack([m.predict(Z) for m in self.members])  # type: ignore[attr-defined]
+        return _EnsembleOutput(mean=preds.mean(axis=0), std=preds.std(axis=0))
+
+    def predict(self, Z: np.ndarray) -> np.ndarray:
+        return self._stats(Z).mean
+
+    def predict_with_std(self, Z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        out = self._stats(Z)
+        return out.mean, out.std
+
+
+def _bootstrap(n: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.integers(0, n, size=n)
+
+
+class EnsembleTimePredictor(_Ensemble):
+    """Bootstrap ensemble of K :class:`TimePredictor` members."""
+
+    @staticmethod
+    def fit(
+        Z: np.ndarray,
+        t: np.ndarray,
+        *,
+        k: int = 5,
+        hidden: Sequence[int] = (32, 32),
+        standardizer: Standardizer | None = None,
+        config: TrainConfig | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> "EnsembleTimePredictor":
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        rng = as_generator(rng)
+        members = []
+        for _ in range(k):
+            member_rng = spawn(rng)
+            idx = _bootstrap(len(Z), member_rng)
+            member = TimePredictor(Z.shape[1], hidden, standardizer=standardizer,
+                                   rng=member_rng)
+            train_time_mse(member, Z[idx], np.asarray(t)[idx], config, member_rng)
+            members.append(member)
+        return EnsembleTimePredictor(members)
+
+
+class EnsembleReliabilityPredictor(_Ensemble):
+    """Bootstrap ensemble of K :class:`ReliabilityPredictor` members."""
+
+    @staticmethod
+    def fit(
+        Z: np.ndarray,
+        a: np.ndarray,
+        *,
+        k: int = 5,
+        hidden: Sequence[int] = (32, 32),
+        standardizer: Standardizer | None = None,
+        config: TrainConfig | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> "EnsembleReliabilityPredictor":
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        rng = as_generator(rng)
+        members = []
+        for _ in range(k):
+            member_rng = spawn(rng)
+            idx = _bootstrap(len(Z), member_rng)
+            member = ReliabilityPredictor(Z.shape[1], hidden, standardizer=standardizer,
+                                          rng=member_rng)
+            train_reliability(member, Z[idx], np.asarray(a)[idx], config, member_rng)
+            members.append(member)
+        return EnsembleReliabilityPredictor(members)

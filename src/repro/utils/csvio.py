@@ -1,0 +1,56 @@
+"""CSV export of experiment results (plotting-tool-friendly figure data)."""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.metrics
+    from repro.metrics.report import MethodReport
+
+__all__ = ["write_reports_csv", "write_series_csv"]
+
+
+def write_reports_csv(
+    reports: "Mapping[str, MethodReport]",
+    path: "str | os.PathLike[str]",
+    *,
+    extra: Mapping[str, object] | None = None,
+) -> None:
+    """One row per method: mean and std of each §4.1.3 metric.
+
+    ``extra`` columns (e.g. setting name) are prepended to every row.
+    """
+    extra = dict(extra or {})
+    with open(os.fspath(path), "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([*extra.keys(), "method",
+                         "regret_mean", "regret_std",
+                         "reliability_mean", "reliability_std",
+                         "utilization_mean", "utilization_std"])
+        for name, report in reports.items():
+            r, rel, u = report.regret, report.reliability, report.utilization
+            writer.writerow([*extra.values(), name,
+                             f"{r[0]:.6f}", f"{r[1]:.6f}",
+                             f"{rel[0]:.6f}", f"{rel[1]:.6f}",
+                             f"{u[0]:.6f}", f"{u[1]:.6f}"])
+
+
+def write_series_csv(
+    x_label: str,
+    results: "Mapping[float, Mapping[str, MethodReport]]",
+    path: "str | os.PathLike[str]",
+    *,
+    metric: str = "regret",
+) -> None:
+    """Figure-style data: one row per (x, method) with mean/std of ``metric``."""
+    if metric not in ("regret", "reliability", "utilization"):
+        raise ValueError(f"unknown metric {metric!r}")
+    with open(os.fspath(path), "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([x_label, "method", f"{metric}_mean", f"{metric}_std"])
+        for x in sorted(results):
+            for name, report in results[x].items():
+                mean, std = getattr(report, metric)
+                writer.writerow([x, name, f"{mean:.6f}", f"{std:.6f}"])

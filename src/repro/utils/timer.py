@@ -1,0 +1,68 @@
+"""Lightweight wall-clock timing helpers for the benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Timer", "timed"]
+
+
+@dataclass
+class Timer:
+    """Accumulating timer: tracks total elapsed seconds over many sections.
+
+    >>> t = Timer()
+    >>> with t.section("solve"):
+    ...     pass
+    >>> t.total("solve") >= 0.0
+    True
+    """
+
+    totals: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def total(self, name: str) -> float:
+        return self.totals.get(name, 0.0)
+
+    def mean(self, name: str) -> float:
+        n = self.counts.get(name, 0)
+        return self.totals.get(name, 0.0) / n if n else 0.0
+
+    def report(self) -> str:
+        lines = ["section            total(s)   calls   mean(s)"]
+        for name in sorted(self.totals):
+            lines.append(
+                f"{name:<18} {self.totals[name]:>8.3f} {self.counts[name]:>7d} "
+                f"{self.mean(name):>9.5f}"
+            )
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed() -> Iterator[list[float]]:
+    """Context manager yielding a one-element list that receives the elapsed
+    wall-clock seconds on exit::
+
+        with timed() as t:
+            work()
+        print(t[0])
+    """
+    out = [0.0]
+    start = time.perf_counter()
+    try:
+        yield out
+    finally:
+        out[0] = time.perf_counter() - start

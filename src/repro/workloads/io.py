@@ -1,0 +1,180 @@
+"""Trace import/export: plug real platform measurements into the pipeline.
+
+The library ships a synthetic substitute for the paper's Xirang traces, but
+a downstream user with real measurements should not have to re-implement
+the training stack.  This module defines a small, documented JSON trace
+format and the loaders that feed it into :class:`ClusterDataset` objects:
+
+```json
+{
+  "format": "repro-trace-v1",
+  "feature_dim": 16,
+  "tasks": [{"task_id": 0, "features": [..]}, ...],
+  "clusters": [
+    {"cluster_id": 0, "name": "site-a",
+     "measurements": [{"task_id": 0, "time_hours": 1.2, "reliability": 0.97}, ...]},
+    ...
+  ]
+}
+```
+
+Features may come from any embedding — the predictors only need a fixed-
+dimension vector per task.  ``export_trace`` produces the same format from
+synthetic pools so round-tripping is testable and users have a reference
+file to imitate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.workloads.taskpool import Task
+
+if TYPE_CHECKING:  # imported lazily at call time to avoid package cycles
+    from repro.clusters.cluster import Cluster
+    from repro.predictors.dataset import ClusterDataset
+
+__all__ = ["Trace", "export_trace", "load_trace", "trace_to_datasets"]
+
+FORMAT_TAG = "repro-trace-v1"
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An in-memory measurement trace (see module docstring for the format)."""
+
+    features: np.ndarray  # (n_tasks, d), indexed by task_id order
+    task_ids: list[int]
+    cluster_names: dict[int, str]
+    measurements: dict[int, list[tuple[int, float, float]]]  # cid -> [(tid, t, a)]
+
+    def __post_init__(self) -> None:
+        if self.features.ndim != 2:
+            raise ValueError("features must be 2-D")
+        if len(self.task_ids) != len(self.features):
+            raise ValueError("task_ids and features must have equal length")
+        valid = set(self.task_ids)
+        for cid, ms in self.measurements.items():
+            for tid, t, a in ms:
+                if tid not in valid:
+                    raise ValueError(f"cluster {cid} references unknown task {tid}")
+                if t <= 0:
+                    raise ValueError(f"non-positive time for task {tid} on cluster {cid}")
+                if not 0.0 <= a <= 1.0:
+                    raise ValueError(f"reliability out of range for task {tid}")
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.task_ids)
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.measurements)
+
+
+def export_trace(
+    clusters: "list[Cluster]",  # noqa: F821 - lazy import
+    tasks: "list[Task]",
+    path: "str | os.PathLike[str]",
+    rng: np.random.Generator | int | None = None,
+) -> Trace:
+    """Measure ``tasks`` on ``clusters`` and write the JSON trace file."""
+    if not clusters or not tasks:
+        raise ValueError("clusters and tasks must be non-empty")
+    rng = as_generator(rng)
+    features = np.stack([t.features for t in tasks])
+    task_ids = [t.task_id for t in tasks]
+    measurements: dict[int, list[tuple[int, float, float]]] = {}
+    names: dict[int, str] = {}
+    for cluster in clusters:
+        ms = cluster.measure_batch(tasks, rng)
+        measurements[cluster.cluster_id] = [
+            (m.task_id, m.time_hours, m.reliability) for m in ms
+        ]
+        names[cluster.cluster_id] = cluster.name
+    trace = Trace(features=features, task_ids=task_ids, cluster_names=names,
+                  measurements=measurements)
+    _write(trace, path)
+    return trace
+
+
+def _write(trace: Trace, path: "str | os.PathLike[str]") -> None:
+    doc = {
+        "format": FORMAT_TAG,
+        "feature_dim": int(trace.features.shape[1]),
+        "tasks": [
+            {"task_id": int(tid), "features": [float(v) for v in feat]}
+            for tid, feat in zip(trace.task_ids, trace.features)
+        ],
+        "clusters": [
+            {
+                "cluster_id": int(cid),
+                "name": trace.cluster_names.get(cid, f"cluster-{cid}"),
+                "measurements": [
+                    {"task_id": int(tid), "time_hours": float(t), "reliability": float(a)}
+                    for tid, t, a in ms
+                ],
+            }
+            for cid, ms in sorted(trace.measurements.items())
+        ],
+    }
+    with open(os.fspath(path), "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+
+
+def load_trace(path: "str | os.PathLike[str]") -> Trace:
+    """Parse and validate a ``repro-trace-v1`` JSON file."""
+    with open(os.fspath(path), encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("format") != FORMAT_TAG:
+        raise ValueError(f"not a {FORMAT_TAG} file: format={doc.get('format')!r}")
+    tasks = doc["tasks"]
+    d = int(doc["feature_dim"])
+    features = np.array([t["features"] for t in tasks], dtype=np.float64)
+    if features.shape != (len(tasks), d):
+        raise ValueError("feature matrix inconsistent with feature_dim")
+    task_ids = [int(t["task_id"]) for t in tasks]
+    if len(set(task_ids)) != len(task_ids):
+        raise ValueError("duplicate task ids in trace")
+    names: dict[int, str] = {}
+    measurements: dict[int, list[tuple[int, float, float]]] = {}
+    for c in doc["clusters"]:
+        cid = int(c["cluster_id"])
+        names[cid] = str(c.get("name", f"cluster-{cid}"))
+        measurements[cid] = [
+            (int(m["task_id"]), float(m["time_hours"]), float(m["reliability"]))
+            for m in c["measurements"]
+        ]
+    return Trace(features=features, task_ids=task_ids, cluster_names=names,
+                 measurements=measurements)
+
+
+def trace_to_datasets(trace: Trace) -> "list[ClusterDataset]":
+    """Convert a trace into per-cluster training datasets.
+
+    Only tasks measured on a cluster appear in its dataset (real traces are
+    often incomplete); rows follow the trace's measurement order.
+    """
+    from repro.predictors.dataset import ClusterDataset
+
+    index = {tid: row for row, tid in enumerate(trace.task_ids)}
+    datasets = []
+    for cid, ms in sorted(trace.measurements.items()):
+        if not ms:
+            raise ValueError(f"cluster {cid} has no measurements")
+        rows = [index[tid] for tid, _, _ in ms]
+        datasets.append(
+            ClusterDataset(
+                cluster_id=cid,
+                Z=trace.features[rows],
+                t=np.array([t for _, t, _ in ms]),
+                a=np.array([a for _, _, a in ms]),
+            )
+        )
+    return datasets

@@ -1,0 +1,193 @@
+"""Tests for the cluster substrate: hardware, performance, reliability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clusters import (
+    ARCHETYPES,
+    SETTINGS,
+    Cluster,
+    HardwareProfile,
+    PerfModel,
+    ReliabilityModel,
+    ResponseShape,
+    archetype_names,
+    make_cluster,
+    make_pool,
+    make_setting,
+)
+from repro.workloads import Family, ModelSpec, sample_spec, sample_specs
+
+
+def _hw(**kw):
+    defaults = dict(name="test", peak_tflops=100.0, mem_bandwidth_gbs=1000.0,
+                    memory_gb=32.0)
+    defaults.update(kw)
+    return HardwareProfile(**defaults)
+
+
+class TestHardwareProfile:
+    def test_affinity_default_one(self):
+        hw = _hw(family_affinity={Family.CONV: 1.5})
+        assert hw.affinity(Family.CONV) == 1.5
+        assert hw.affinity(Family.MLP) == 1.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(peak_tflops=0),
+            dict(mem_bandwidth_gbs=-1),
+            dict(memory_gb=0),
+            dict(base_reliability=0.0),
+            dict(base_reliability=1.5),
+            dict(hazard_per_hour=-0.1),
+            dict(family_affinity={Family.CONV: 0.0}),
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            _hw(**bad)
+
+
+class TestPerfModel:
+    def test_time_positive_for_all_archetypes(self):
+        specs = sample_specs(10, rng=0)
+        for name in archetype_names():
+            cluster = make_cluster(name, 0)
+            times = cluster.perf.execution_times(specs)
+            assert np.all(times > 0)
+            assert np.all(np.isfinite(times))
+
+    def test_more_work_takes_longer_linear(self):
+        pm = PerfModel(hardware=_hw(), shape=ResponseShape.LINEAR)
+        small = ModelSpec(Family.MLP, depth=4, width=256, batch_size=64,
+                          dataset_samples=100_000)
+        big = ModelSpec(Family.MLP, depth=4, width=256, batch_size=64,
+                        dataset_samples=100_000, train_epochs=400)
+        assert pm.execution_time(big) > pm.execution_time(small)
+
+    def test_affinity_speeds_up(self):
+        fast = PerfModel(hardware=_hw(family_affinity={Family.CONV: 2.0}))
+        slow = PerfModel(hardware=_hw())
+        spec = sample_spec(1, family=Family.CONV)
+        assert fast.execution_time(spec) < slow.execution_time(spec)
+
+    def test_memory_exp_penalizes_pressure(self):
+        hw_small = _hw(memory_gb=8.0)
+        linear = PerfModel(hardware=hw_small, shape=ResponseShape.LINEAR)
+        memexp = PerfModel(hardware=hw_small, shape=ResponseShape.MEMORY_EXP)
+        # A memory-hungry conv workload.
+        spec = ModelSpec(Family.CONV, depth=24, width=128, batch_size=256,
+                         dataset_samples=30_000, seq_length=48)
+        assert spec.memory_gb > 0.5 * hw_small.memory_gb
+        assert memexp.execution_time(spec) > linear.execution_time(spec)
+
+    def test_saturating_is_sublinear_congested_superlinear(self):
+        hw = _hw(memory_gb=500.0)
+        base = dict(family=Family.MLP, depth=8, width=1024, batch_size=256,
+                    dataset_samples=2_000_000)
+        small, big = ModelSpec(**base, train_epochs=100), ModelSpec(**base, train_epochs=400)
+        for shape, compare in [
+            (ResponseShape.SATURATING, np.less),
+            (ResponseShape.CONGESTED, np.greater),
+        ]:
+            pm = PerfModel(hardware=hw, shape=shape)
+            ratio = pm.execution_time(big) / pm.execution_time(small)
+            lin = PerfModel(hardware=hw, shape=ResponseShape.LINEAR)
+            lin_ratio = lin.execution_time(big) / lin.execution_time(small)
+            assert compare(ratio, lin_ratio)
+
+    def test_utilization_bounded(self):
+        pm = PerfModel(hardware=_hw())
+        for spec in sample_specs(10, rng=4):
+            assert 0 < pm.utilization(spec) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerfModel(hardware=_hw(), base_utilization=0.0)
+        with pytest.raises(ValueError):
+            PerfModel(hardware=_hw(), batch_half_point=-1)
+
+
+class TestReliabilityModel:
+    def test_bounds_and_monotonicity_in_time(self):
+        rm = ReliabilityModel(hardware=_hw(hazard_per_hour=0.2))
+        spec = sample_spec(2)
+        r_short = rm.reliability(spec, 0.1)
+        r_long = rm.reliability(spec, 10.0)
+        assert 0.05 <= r_long < r_short <= 0.999
+
+    def test_memory_pressure_reduces_reliability(self):
+        hw = _hw(memory_gb=4.0)
+        rm = ReliabilityModel(hardware=hw)
+        light = ModelSpec(Family.MLP, depth=4, width=128, batch_size=16,
+                          dataset_samples=10_000)
+        heavy = ModelSpec(Family.CONV, depth=24, width=160, batch_size=256,
+                          dataset_samples=30_000, seq_length=48)
+        assert rm.reliability(heavy, 1.0) < rm.reliability(light, 1.0)
+
+    def test_negative_time_rejected(self):
+        rm = ReliabilityModel(hardware=_hw())
+        with pytest.raises(ValueError):
+            rm.reliability(sample_spec(0), -1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(0.0, 50.0))
+    def test_property_reliability_in_range(self, hours):
+        rm = ReliabilityModel(hardware=_hw())
+        r = rm.reliability(sample_spec(3), hours)
+        assert 0.05 <= r <= 0.999
+
+
+class TestClusterAndRegistry:
+    def test_measure_noisy_but_close(self, setting_a, task_pool):
+        cluster = setting_a[0]
+        task = task_pool[0]
+        rng = np.random.default_rng(0)
+        ms = [cluster.measure(task, rng) for _ in range(200)]
+        times = np.array([m.time_hours for m in ms])
+        t_true = cluster.true_time(task)
+        assert abs(np.median(times) - t_true) / t_true < 0.1
+        rels = np.array([m.reliability for m in ms])
+        assert abs(rels.mean() - cluster.true_reliability(task)) < 0.1
+
+    def test_cluster_requires_shared_hardware(self):
+        hw1, hw2 = _hw(name="a"), _hw(name="b")
+        with pytest.raises(ValueError):
+            Cluster(0, PerfModel(hardware=hw1), ReliabilityModel(hardware=hw2))
+
+    def test_settings_exist_and_build(self):
+        for name in SETTINGS:
+            clusters = make_setting(name)
+            assert len(clusters) == 3
+            assert [c.cluster_id for c in clusters] == [0, 1, 2]
+
+    def test_unknown_setting_and_archetype(self):
+        with pytest.raises(KeyError):
+            make_setting("Z")
+        with pytest.raises(KeyError):
+            make_cluster("bogus", 0)
+
+    def test_make_pool_sizes(self):
+        pool = make_pool(10, rng=0)
+        assert len(pool) == 10
+        with pytest.raises(ValueError):
+            make_pool(0)
+
+    def test_archetypes_have_distinct_profiles(self):
+        names = archetype_names()
+        assert len(names) == len(set(names)) >= 5
+        shapes = {ARCHETYPES[n][1] for n in names}
+        assert len(shapes) >= 3  # response-shape diversity (Fig. 2 motif)
+
+    def test_heterogeneity_produces_crossings(self, task_pool):
+        """At least two clusters must each be the fastest for some task —
+        the precondition for prediction-sensitive matching (Fig. 2)."""
+        clusters = make_setting("A")
+        T = np.stack([c.true_times(task_pool.tasks) for c in clusters])
+        winners = set(T.argmin(axis=0).tolist())
+        assert len(winners) >= 2

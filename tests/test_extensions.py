@@ -1,0 +1,202 @@
+"""Tests for extension experiments (E7 cluster scaling, diagnostics) and
+the DES scheduler orderings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clusters import make_setting
+from repro.experiments import ExperimentConfig
+from repro.experiments.cluster_scaling import run_cluster_scaling
+from repro.experiments.diagnostics import run_diagnostics
+from repro.matching.rounding import assignment_from_labels
+from repro.matching.zeroth_order import ZeroOrderConfig
+from repro.methods import MFCPConfig
+from repro.predictors.training import TrainConfig
+from repro.sim import ExecutionConfig, simulate_matching
+from repro.workloads import TaskPool
+
+TINY = ExperimentConfig(
+    pool_size=30,
+    eval_rounds=2,
+    seeds=(0,),
+    mfcp=MFCPConfig(epochs=3, pretrain=TrainConfig(epochs=30),
+                    zero_order=ZeroOrderConfig(samples=2, delta=0.05, warm_start_iters=20)),
+    supervised=TrainConfig(epochs=30),
+)
+
+
+class TestClusterScaling:
+    def test_sweep_structure(self):
+        results = run_cluster_scaling(TINY, cluster_counts=(2, 4))
+        assert set(results) == {2, 4}
+        for m, reports in results.items():
+            assert set(reports) == {"TSM", "MFCP-AD"}
+            for r in reports.values():
+                assert np.isfinite(r.regret[0])
+                assert 0 < r.utilization[0] <= 1.0
+
+    def test_more_clusters_do_not_reduce_round_size(self):
+        """Round size scales with M (TASKS_PER_CLUSTER · M) — utilization
+        stays meaningful rather than collapsing to 1/M."""
+        results = run_cluster_scaling(TINY, cluster_counts=(2, 6))
+        u2 = results[2]["TSM"].utilization[0]
+        u6 = results[6]["TSM"].utilization[0]
+        assert u2 > 0.3 and u6 > 0.2
+
+
+class TestDiagnostics:
+    def test_rows_complete(self):
+        rows = run_diagnostics(TINY, seed=0)
+        assert set(rows) == {"TSM", "MFCP-AD"}
+        for r in rows.values():
+            for key in ("median_rel_err", "p90_rel_err", "spearman",
+                        "rank_accuracy", "brier", "ece", "mean_regret"):
+                assert key in r and np.isfinite(r[key])
+            assert 0.0 <= r["rank_accuracy"] <= 1.0
+            assert 0.0 <= r["brier"] <= 1.0
+
+
+class TestSchedulerOrderings:
+    @pytest.fixture()
+    def scenario(self, task_pool, setting_a):
+        tasks = task_pool.tasks[:10]
+        X = assignment_from_labels(np.zeros(10, dtype=int), 3)  # all on cluster 0
+        return setting_a, tasks, X
+
+    def _mean_completion(self, result):
+        return float(np.mean([r.end for r in result.records]))
+
+    def test_makespan_order_invariant(self, scenario):
+        clusters, tasks, X = scenario
+        spans = {
+            order: simulate_matching(clusters, tasks, X,
+                                     ExecutionConfig(order=order)).makespan
+            for order in ("fifo", "sjf", "ljf")
+        }
+        assert spans["fifo"] == pytest.approx(spans["sjf"])
+        assert spans["fifo"] == pytest.approx(spans["ljf"])
+
+    def test_sjf_minimizes_mean_completion(self, scenario):
+        clusters, tasks, X = scenario
+        mean_ct = {
+            order: self._mean_completion(
+                simulate_matching(clusters, tasks, X, ExecutionConfig(order=order))
+            )
+            for order in ("fifo", "sjf", "ljf")
+        }
+        assert mean_ct["sjf"] <= mean_ct["fifo"] <= mean_ct["ljf"]
+        assert mean_ct["sjf"] < mean_ct["ljf"]  # strict on heterogeneous tasks
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(order="random")
+
+
+class TestOracleMethod:
+    def test_oracle_near_zero_regret(self, task_pool, setting_a):
+        from repro.matching import makespan
+        from repro.methods import FitContext, MatchSpec, Oracle
+
+        spec = MatchSpec()
+        ctx = FitContext.build(setting_a, task_pool.tasks[:12], spec, rng=0)
+        oracle = Oracle().fit(ctx)
+        tasks = task_pool.tasks[12:17]
+        T = np.stack([c.true_times(tasks) for c in setting_a])
+        A = np.stack([c.true_reliabilities(tasks) for c in setting_a])
+        problem = spec.build_problem(T, A)
+        T_hat, A_hat = oracle.predict(tasks)
+        np.testing.assert_allclose(T_hat, T)
+        X = oracle.decide(problem, tasks)
+        np.testing.assert_allclose(X.sum(axis=0), np.ones(5))
+
+    def test_oracle_requires_fit(self, task_pool, setting_a):
+        from repro.methods import MatchSpec, Oracle
+
+        with pytest.raises(RuntimeError):
+            Oracle().predict(task_pool.tasks[:3])
+
+
+class TestCsvExport:
+    def test_reports_csv(self, tmp_path):
+        from repro.metrics import MetricSample, aggregate
+        from repro.utils import write_reports_csv
+
+        reports = {"TSM": aggregate("TSM", [MetricSample(0.1, 0.9, 0.5)])}
+        path = tmp_path / "out.csv"
+        write_reports_csv(reports, path, extra={"setting": "A"})
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("setting,method,regret_mean")
+        assert lines[1].startswith("A,TSM,0.1")
+
+    def test_series_csv(self, tmp_path):
+        from repro.metrics import MetricSample, aggregate
+        from repro.utils import write_series_csv
+
+        results = {5: {"TSM": aggregate("TSM", [MetricSample(0.1, 0.9, 0.5)])},
+                   10: {"TSM": aggregate("TSM", [MetricSample(0.2, 0.8, 0.6)])}}
+        path = tmp_path / "series.csv"
+        write_series_csv("N", results, path, metric="utilization")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        assert "utilization_mean" in lines[0]
+
+    def test_series_csv_validates_metric(self, tmp_path):
+        from repro.utils import write_series_csv
+
+        with pytest.raises(ValueError):
+            write_series_csv("N", {}, tmp_path / "x.csv", metric="speed")
+
+
+class TestFig2:
+    def test_matching_focused_fixes_crossing_task(self):
+        from repro.experiments.fig2 import run_fig2
+
+        results = run_fig2(rng=0)
+        mse = results["MSE (predict-then-match)"]
+        mf = results["matching-focused"]
+        assert mf.correct.sum() >= mse.correct.sum()
+        assert mf.all_correct
+        # The matching-focused fit trades raw MSE for decisions.
+        assert mf.mse >= mse.mse
+
+    def test_deterministic(self):
+        from repro.experiments.fig2 import run_fig2
+
+        a = run_fig2(rng=3)
+        b = run_fig2(rng=3)
+        np.testing.assert_allclose(
+            a["matching-focused"].predicted_a, b["matching-focused"].predicted_a
+        )
+
+
+class TestMFCPModelSelection:
+    def test_snapshot_restore_roundtrip(self, task_pool, setting_a):
+        from repro.matching.zeroth_order import ZeroOrderConfig
+        from repro.methods import FitContext, MatchSpec, MFCP, MFCPConfig
+        from repro.predictors.training import TrainConfig
+
+        cfg = MFCPConfig(epochs=2, pretrain=TrainConfig(epochs=20),
+                         validation_rounds=0,
+                         zero_order=ZeroOrderConfig(samples=2, delta=0.05,
+                                                    warm_start_iters=15))
+        ctx = FitContext.build(setting_a, task_pool.tasks[:12], MatchSpec(), rng=0)
+        m = MFCP("analytic", cfg).fit(ctx)
+        Z = np.stack([t.features for t in task_pool.tasks[12:15]])
+        before = m._pairs[0].time.predict(Z)
+        state = m._snapshot()
+        # Perturb weights, then restore.
+        for p in m._pairs[0].time.parameters():
+            p.data += 1.0
+        assert not np.allclose(m._pairs[0].time.predict(Z), before)
+        m._restore(state)
+        np.testing.assert_allclose(m._pairs[0].time.predict(Z), before)
+
+    def test_validation_config_validated(self):
+        from repro.methods import MFCPConfig
+
+        with pytest.raises(ValueError):
+            MFCPConfig(validation_rounds=-1)
+        with pytest.raises(ValueError):
+            MFCPConfig(validate_every=0)

@@ -1,0 +1,47 @@
+"""Fresh-process import tests: catch package-level import cycles.
+
+Cycles can hide under pytest (earlier imports break the cycle) and only
+explode in fresh interpreters — exactly how a `python -m repro...` run
+fails while the test suite stays green.  Each subpackage is imported in
+its own subprocess with no prior state.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+MODULES = [
+    "repro",
+    "repro.utils",
+    "repro.nn",
+    "repro.nn.graph",
+    "repro.workloads",
+    "repro.clusters",
+    "repro.sim",
+    "repro.matching",
+    "repro.predictors",
+    "repro.methods",
+    "repro.metrics",
+    "repro.theory",
+    "repro.experiments",
+    "repro.experiments.fig2",
+    "repro.experiments.table1",
+    "repro.experiments.fig4",
+    "repro.experiments.fig5",
+    "repro.experiments.table2",
+    "repro.experiments.dfl_landscape",
+    "repro.experiments.parallel",
+    "repro.cli",
+]
+
+
+@pytest.mark.parametrize("module", MODULES)
+def test_fresh_process_import(module):
+    proc = subprocess.run(
+        [sys.executable, "-c", f"import {module}"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0, f"importing {module} failed:\n{proc.stderr}"

@@ -1,0 +1,173 @@
+"""Finite-difference and property tests for elementwise ops and functional
+composites (softmax, log-sum-exp, barriers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor, ops
+from repro.nn.functional import (
+    log_barrier,
+    log_softmax,
+    logsumexp,
+    logsumexp_np,
+    smooth_max,
+    softmax,
+    softmax_np,
+)
+
+
+def numeric_grad(f, x, eps=1e-6):
+    g = np.zeros_like(x)
+    for k in range(x.size):
+        xp, xm = x.copy().ravel(), x.copy().ravel()
+        xp[k] += eps
+        xm[k] -= eps
+        g.ravel()[k] = (f(xp.reshape(x.shape)) - f(xm.reshape(x.shape))) / (2 * eps)
+    return g
+
+
+def check_grad(fn, x, rtol=1e-5, atol=1e-7):
+    t = Tensor(x, requires_grad=True)
+    fn(t).backward()
+    num = numeric_grad(lambda v: fn(Tensor(v)).item(), x)
+    np.testing.assert_allclose(t.grad, num, rtol=rtol, atol=atol)
+
+
+RNG = np.random.default_rng(7)
+
+
+class TestElementwiseGradients:
+    @pytest.mark.parametrize(
+        "op,domain",
+        [
+            (ops.exp, (-2, 2)),
+            (ops.log, (0.5, 5)),
+            (ops.sqrt, (0.5, 5)),
+            (ops.tanh, (-3, 3)),
+            (ops.sigmoid, (-5, 5)),
+            (ops.softplus, (-5, 5)),
+        ],
+    )
+    def test_grad_matches_fd(self, op, domain):
+        x = RNG.uniform(*domain, size=(4, 3))
+        check_grad(lambda t: op(t).sum(), x)
+
+    def test_relu_grad_away_from_kink(self):
+        x = np.array([-2.0, -0.5, 0.5, 2.0])
+        check_grad(lambda t: ops.relu(t).sum(), x)
+
+    def test_leaky_relu_values(self):
+        out = ops.leaky_relu(Tensor([-1.0, 2.0]), 0.1)
+        np.testing.assert_allclose(out.data, [-0.1, 2.0])
+
+    def test_abs_grad(self):
+        x = np.array([-2.0, 3.0, -0.5])
+        check_grad(lambda t: ops.abs_(t).sum(), x)
+
+    def test_clip_grad_mask(self):
+        t = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        ops.clip(t, 0.0, 1.0).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.0, 1.0, 0.0])
+
+    def test_maximum_minimum(self):
+        a = Tensor([1.0, 5.0], requires_grad=True)
+        b = Tensor([3.0, 2.0], requires_grad=True)
+        ops.maximum(a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 0.0])
+        out = ops.minimum(Tensor([1.0, 5.0]), Tensor([3.0, 2.0]))
+        np.testing.assert_allclose(out.data, [1.0, 2.0])
+
+    def test_where_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        ops.where(np.array([True, False]), a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0])
+
+    def test_sigmoid_extreme_stability(self):
+        out = ops.sigmoid(Tensor([-800.0, 800.0]))
+        assert np.all(np.isfinite(out.data))
+        np.testing.assert_allclose(out.data, [0.0, 1.0], atol=1e-12)
+
+    def test_softplus_extreme_stability(self):
+        out = ops.softplus(Tensor([-800.0, 800.0]))
+        assert np.all(np.isfinite(out.data))
+        assert out.data[1] == pytest.approx(800.0)
+
+
+class TestFunctional:
+    def test_softmax_normalizes(self):
+        x = RNG.normal(size=(3, 4))
+        s = softmax(Tensor(x), axis=0)
+        np.testing.assert_allclose(s.data.sum(axis=0), np.ones(4))
+
+    def test_softmax_grad(self):
+        x = RNG.normal(size=(3, 4))
+        w = RNG.normal(size=(3, 4))
+        check_grad(lambda t: (softmax(t, axis=0) * w).sum(), x)
+
+    def test_log_softmax_consistency(self):
+        x = RNG.normal(size=(2, 5))
+        ls = log_softmax(Tensor(x), axis=1).data
+        np.testing.assert_allclose(np.exp(ls).sum(axis=1), np.ones(2))
+
+    def test_logsumexp_grad(self):
+        x = RNG.normal(size=6)
+        check_grad(lambda t: logsumexp(t), x)
+
+    def test_logsumexp_shift_stability(self):
+        x = np.array([1000.0, 1000.0])
+        out = logsumexp(Tensor(x))
+        assert out.item() == pytest.approx(1000.0 + np.log(2))
+
+    def test_smooth_max_bounds(self):
+        x = RNG.uniform(0, 5, size=7)
+        for beta in (1.0, 5.0, 50.0):
+            sm = smooth_max(Tensor(x), beta).item()
+            assert x.max() <= sm <= x.max() + np.log(len(x)) / beta + 1e-12
+
+    def test_smooth_max_rejects_bad_beta(self):
+        with pytest.raises(ValueError):
+            smooth_max(Tensor([1.0]), 0.0)
+
+    def test_log_barrier_grad(self):
+        x = RNG.uniform(0.5, 2.0, size=4)
+        check_grad(lambda t: log_barrier(t, 0.1).sum(), x)
+
+    def test_log_barrier_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log_barrier(Tensor([0.0]), 0.1)
+        with pytest.raises(ValueError):
+            log_barrier(Tensor([1.0]), -1.0)
+
+    def test_numpy_twins_match_tensor_versions(self):
+        x = RNG.normal(size=(3, 5))
+        np.testing.assert_allclose(softmax_np(x, axis=0), softmax(Tensor(x), axis=0).data)
+        np.testing.assert_allclose(
+            logsumexp_np(x, axis=1), logsumexp(Tensor(x), axis=1).data
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(np.float64, st.integers(2, 8), elements=st.floats(-20, 20, allow_nan=False)),
+    st.floats(0.5, 50.0),
+)
+def test_property_smooth_max_theorem1(v, beta):
+    """Property: max(v) <= smooth_max(v, β) <= max(v) + log(M)/β."""
+    sm = smooth_max(Tensor(v), beta).item()
+    assert v.max() - 1e-9 <= sm <= v.max() + np.log(len(v)) / beta + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(arrays(np.float64, (3, 4), elements=st.floats(-30, 30, allow_nan=False)))
+def test_property_softmax_simplex(x):
+    s = softmax_np(x, axis=0)
+    assert np.all(s >= 0)
+    np.testing.assert_allclose(s.sum(axis=0), np.ones(4), atol=1e-12)

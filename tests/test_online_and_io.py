@@ -1,0 +1,209 @@
+"""Tests for the online platform loop, trace I/O, calibration metrics, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main as cli_main
+from repro.clusters import make_setting
+from repro.metrics import (
+    per_task_rank_accuracy,
+    reliability_calibration,
+    time_accuracy,
+)
+from repro.methods import FitContext, MatchSpec, TAM
+from repro.sim import OnlineConfig, OnlineStats, PoissonArrivals, simulate_online
+from repro.workloads import TaskPool, export_trace, load_trace, trace_to_datasets
+
+
+@pytest.fixture(scope="module")
+def online_setup():
+    pool = TaskPool(30, rng=51)
+    clusters = make_setting("A")
+    spec = MatchSpec()
+    ctx = FitContext.build(clusters, pool.tasks[:20], spec, rng=1)
+    method = TAM().fit(ctx)
+    return pool, clusters, spec, method
+
+
+class TestPoissonArrivals:
+    def test_rate_validation(self, task_pool):
+        with pytest.raises(ValueError):
+            PoissonArrivals(task_pool, rate_per_hour=0)
+
+    def test_draw_counts_scale_with_rate(self, task_pool, rng):
+        lo = PoissonArrivals(task_pool, 2.0).draw(50.0, np.random.default_rng(0))
+        hi = PoissonArrivals(task_pool, 8.0).draw(50.0, np.random.default_rng(0))
+        assert len(hi) > len(lo)
+        assert all(0 <= t < 50.0 for t, _ in lo)
+        assert sorted(t for t, _ in lo) == [t for t, _ in lo]
+
+    def test_horizon_validation(self, task_pool, rng):
+        with pytest.raises(ValueError):
+            PoissonArrivals(task_pool, 2.0).draw(0.0, rng)
+
+
+class TestOnlineLoop:
+    def test_stats_consistency(self, online_setup):
+        pool, clusters, spec, method = online_setup
+        stats = simulate_online(
+            clusters, method, PoissonArrivals(pool, 5.0), spec,
+            OnlineConfig(window_hours=0.5, horizon_hours=6.0), rng=3,
+        )
+        assert stats.jobs_finished == stats.jobs_arrived
+        assert 0 < stats.success_rate <= 1.0
+        assert stats.mean_flow_hours >= stats.mean_wait_hours >= 0
+        assert 0 < stats.utilization <= 1.0
+
+    def test_no_failures_mode(self, online_setup):
+        pool, clusters, spec, method = online_setup
+        stats = simulate_online(
+            clusters, method, PoissonArrivals(pool, 4.0), spec,
+            OnlineConfig(window_hours=1.0, horizon_hours=5.0, failures=False,
+                         jitter_std=0.0), rng=4,
+        )
+        assert stats.success_rate == 1.0
+
+    def test_higher_load_increases_waiting(self, online_setup):
+        pool, clusters, spec, method = online_setup
+        waits = []
+        for rate in (2.0, 20.0):
+            stats = simulate_online(
+                clusters, method, PoissonArrivals(pool, rate), spec,
+                OnlineConfig(window_hours=0.5, horizon_hours=8.0, failures=False,
+                             jitter_std=0.0), rng=5,
+            )
+            waits.append(stats.mean_wait_hours)
+        assert waits[1] > waits[0]
+
+    def test_empty_stats_raise(self):
+        s = OnlineStats()
+        with pytest.raises(ValueError):
+            s.success_rate
+        with pytest.raises(ValueError):
+            s.utilization
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            OnlineConfig(window_hours=0)
+        with pytest.raises(ValueError):
+            OnlineConfig(jitter_std=-1)
+
+
+class TestTraceIO:
+    def test_roundtrip(self, tmp_path, task_pool, setting_a):
+        path = tmp_path / "trace.json"
+        trace = export_trace(setting_a, task_pool.tasks[:8], path, rng=0)
+        loaded = load_trace(path)
+        np.testing.assert_allclose(loaded.features, trace.features)
+        assert loaded.task_ids == trace.task_ids
+        assert loaded.cluster_names == trace.cluster_names
+
+    def test_datasets_from_trace(self, tmp_path, task_pool, setting_a):
+        path = tmp_path / "trace.json"
+        trace = export_trace(setting_a, task_pool.tasks[:8], path, rng=0)
+        datasets = trace_to_datasets(trace)
+        assert len(datasets) == 3
+        for ds in datasets:
+            assert len(ds) == 8
+            assert np.all(ds.t > 0)
+
+    def test_format_tag_enforced(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_validation_of_bad_measurements(self, tmp_path, task_pool, setting_a):
+        path = tmp_path / "trace.json"
+        export_trace(setting_a, task_pool.tasks[:4], path, rng=0)
+        doc = json.loads(path.read_text())
+        doc["clusters"][0]["measurements"][0]["task_id"] = 999
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_partial_traces_supported(self, tmp_path, task_pool, setting_a):
+        """Real traces are incomplete: clusters may measure different tasks."""
+        path = tmp_path / "trace.json"
+        export_trace(setting_a, task_pool.tasks[:6], path, rng=0)
+        doc = json.loads(path.read_text())
+        doc["clusters"][1]["measurements"] = doc["clusters"][1]["measurements"][:3]
+        path.write_text(json.dumps(doc))
+        datasets = trace_to_datasets(load_trace(path))
+        assert len(datasets[1]) == 3
+        assert len(datasets[0]) == 6
+
+
+class TestCalibrationMetrics:
+    def test_time_accuracy_perfect(self, rng):
+        t = rng.uniform(0.5, 3.0, 40)
+        acc = time_accuracy(t, t)
+        assert acc.median_relative_error == 0.0
+        assert acc.spearman == pytest.approx(1.0)
+
+    def test_time_accuracy_detects_bias(self, rng):
+        t = rng.uniform(0.5, 3.0, 40)
+        acc = time_accuracy(2.0 * t, t)
+        assert acc.median_relative_error == pytest.approx(1.0)
+        assert acc.spearman == pytest.approx(1.0)  # ordering preserved
+
+    def test_time_accuracy_validation(self, rng):
+        with pytest.raises(ValueError):
+            time_accuracy(np.array([1.0, -1.0]), np.array([1.0, 1.0]))
+
+    def test_rank_accuracy(self):
+        T_true = np.array([[1.0, 3.0], [2.0, 1.0]])
+        T_good = np.array([[1.5, 4.0], [2.5, 2.0]])  # same argmins
+        T_bad = T_true[::-1]
+        assert per_task_rank_accuracy(T_good, T_true) == 1.0
+        assert per_task_rank_accuracy(T_bad, T_true) == 0.0
+
+    def test_calibration_perfectly_calibrated(self, rng):
+        p = rng.uniform(0.1, 0.9, 5000)
+        outcomes = (rng.random(5000) < p).astype(float)
+        cal = reliability_calibration(p, outcomes, bins=10)
+        assert cal.ece < 0.05
+        assert cal.brier < 0.26
+
+    def test_calibration_detects_overconfidence(self, rng):
+        p = np.full(2000, 0.95)
+        outcomes = (rng.random(2000) < 0.6).astype(float)
+        cal = reliability_calibration(p, outcomes)
+        assert cal.ece > 0.25
+
+    def test_calibration_validation(self):
+        with pytest.raises(ValueError):
+            reliability_calibration(np.array([0.5]), np.array([0.3]))
+        with pytest.raises(ValueError):
+            reliability_calibration(np.array([1.5]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            reliability_calibration(np.array([0.5]), np.array([1.0]), bins=1)
+
+
+class TestCLI:
+    def test_parser_covers_commands(self):
+        parser = build_parser()
+        for argv in (["clusters"], ["pool", "--size", "3"],
+                     ["experiments", "table1"], ["demo"]):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_clusters_command_runs(self, capsys):
+        assert cli_main(["clusters"]) == 0
+        out = capsys.readouterr().out
+        assert "a100-dgx" in out and "Settings" in out
+
+    def test_pool_command_runs(self, capsys):
+        assert cli_main(["pool", "--size", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Task pool" in out
+
+    def test_trace_command_runs(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        assert cli_main(["trace", str(path), "--tasks", "4"]) == 0
+        assert path.exists()
+        assert load_trace(path).n_tasks == 4

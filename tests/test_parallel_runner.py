@@ -1,0 +1,68 @@
+"""Tests for the multiprocessing experiment runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.parallel import KNOWN_METHODS, MethodSpec, run_experiment_parallel
+from repro.matching.zeroth_order import ZeroOrderConfig
+from repro.methods import MFCPConfig
+from repro.predictors.training import TrainConfig
+
+TINY = ExperimentConfig(
+    pool_size=24,
+    eval_rounds=2,
+    seeds=(0, 1),
+    mfcp=MFCPConfig(epochs=2, pretrain=TrainConfig(epochs=20),
+                    zero_order=ZeroOrderConfig(samples=2, delta=0.05, warm_start_iters=15)),
+    supervised=TrainConfig(epochs=20),
+)
+
+
+class TestMethodSpec:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            MethodSpec("gradient_boosting")
+
+    def test_build_instantiates_each_known_method(self):
+        for name in ("tam", "oracle"):
+            m = MethodSpec(name).build()
+            assert hasattr(m, "fit") and hasattr(m, "decide")
+
+    def test_mfcp_variants_get_gradient_mode(self):
+        assert MethodSpec("mfcp_ad", {"config": TINY.mfcp}).build().name == "MFCP-AD"
+        assert MethodSpec("mfcp_fg", {"config": TINY.mfcp}).build().name == "MFCP-FG"
+
+    def test_kwargs_forwarded(self):
+        m = MethodSpec("ucb", {"kappa": 2.5, "ensemble_size": 2}).build()
+        assert m.kappa == 2.5
+
+    def test_registry_names_resolve(self):
+        for name in KNOWN_METHODS:
+            kwargs = {"config": TINY.mfcp} if name.startswith(("mfcp", "spo", "dbb", "dpo")) else {}
+            MethodSpec(name, kwargs).build()
+
+
+class TestParallelExecution:
+    def test_matches_sequential(self):
+        specs = [MethodSpec("tam"), MethodSpec("tsm", {"train_config": TINY.supervised})]
+        seq = run_experiment_parallel("A", specs, TINY, workers=1)
+        par = run_experiment_parallel("A", specs, TINY, workers=2)
+        for name in ("TAM", "TSM"):
+            assert par[name].regret[0] == pytest.approx(seq[name].regret[0], abs=1e-12)
+            assert par[name].utilization[0] == pytest.approx(
+                seq[name].utilization[0], abs=1e-12
+            )
+
+    def test_sample_counts(self):
+        specs = [MethodSpec("tam")]
+        reports = run_experiment_parallel("B", specs, TINY, workers=2)
+        assert len(reports["TAM"].samples) == len(TINY.seeds) * TINY.eval_rounds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_experiment_parallel("A", [], TINY)
+        with pytest.raises(ValueError):
+            run_experiment_parallel("A", [MethodSpec("tam")], TINY, workers=0)

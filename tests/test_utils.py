@@ -1,0 +1,148 @@
+"""Tests for the shared utilities (RNG streams, validation, tables, timers)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Table,
+    Timer,
+    as_generator,
+    check_array,
+    check_assignment_matrix,
+    check_in_range,
+    check_matrix,
+    check_positive,
+    check_probability,
+    format_mean_std,
+    iter_seeds,
+    render_series,
+    spawn,
+    spawn_many,
+    stream_of,
+    timed,
+)
+
+
+class TestRng:
+    def test_as_generator_idempotent(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_as_generator_from_int_deterministic(self):
+        a = as_generator(5).random(3)
+        b = as_generator(5).random(3)
+        np.testing.assert_allclose(a, b)
+
+    def test_spawn_children_independent(self):
+        parent = as_generator(1)
+        c1, c2 = spawn(parent), spawn(parent)
+        assert not np.allclose(c1.random(5), c2.random(5))
+
+    def test_spawn_many(self):
+        children = spawn_many(as_generator(2), 4)
+        assert len(children) == 4
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 4
+
+    def test_spawn_many_validates(self):
+        with pytest.raises(ValueError):
+            spawn_many(as_generator(0), -1)
+
+    def test_stream_of_deterministic_and_label_sensitive(self):
+        a = stream_of(7, "failures").random(3)
+        b = stream_of(7, "failures").random(3)
+        c = stream_of(7, "workload").random(3)
+        np.testing.assert_allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_iter_seeds_deterministic(self):
+        assert list(iter_seeds(3, 4)) == list(iter_seeds(3, 4))
+        assert len(set(iter_seeds(3, 8))) == 8
+
+
+class TestValidation:
+    def test_check_array_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_array(np.array([1.0, np.nan]))
+
+    def test_check_array_ndim(self):
+        with pytest.raises(ValueError):
+            check_array(np.ones((2, 2)), ndim=1)
+
+    def test_check_array_empty(self):
+        with pytest.raises(ValueError):
+            check_array(np.array([]))
+        assert check_array(np.array([]), allow_empty=True).size == 0
+
+    def test_check_matrix_shape(self):
+        with pytest.raises(ValueError):
+            check_matrix(np.ones((2, 3)), shape=(3, 2))
+
+    def test_check_positive(self):
+        assert check_positive(1.5) == 1.5
+        with pytest.raises(ValueError):
+            check_positive(0.0)
+        assert check_positive(0.0, strict=False) == 0.0
+
+    def test_check_probability(self):
+        assert check_probability(0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.1)
+
+    def test_check_in_range(self):
+        assert check_in_range(2.0, 1.0, 3.0) == 2.0
+        with pytest.raises(ValueError):
+            check_in_range(1.0, 1.0, 3.0, inclusive=False)
+
+    def test_check_assignment_matrix(self):
+        X = np.array([[1.0, 0.0], [0.0, 1.0]])
+        np.testing.assert_allclose(check_assignment_matrix(X, binary=True), X)
+        with pytest.raises(ValueError):
+            check_assignment_matrix(np.array([[0.5, 0.5], [0.2, 0.5]]))
+        with pytest.raises(ValueError):
+            check_assignment_matrix(np.array([[0.7, 0.3], [0.3, 0.7]]), binary=True)
+
+
+class TestTables:
+    def test_format_mean_std(self):
+        assert format_mean_std(1.23456, 0.0321) == "1.235 ± 0.032"
+
+    def test_table_renders_aligned(self):
+        t = Table(["Method", "Regret"], title="X")
+        t.add_row(["TSM", "1.0"])
+        t.add_row(["MFCP-with-long-name", "2.0"])
+        lines = t.render().splitlines()
+        assert len({len(line) for line in lines[2:]}) == 1  # aligned rows
+
+    def test_table_rejects_bad_row(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(["only-one"])
+
+    def test_render_series(self):
+        out = render_series("N", [1, 2], {"m": [0.1, 0.2]}, title="S")
+        assert "0.100" in out and "N" in out
+
+    def test_render_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series("N", [1, 2], {"m": [0.1]})
+
+
+class TestTimers:
+    def test_timer_accumulates(self):
+        t = Timer()
+        for _ in range(3):
+            with t.section("work"):
+                time.sleep(0.001)
+        assert t.counts["work"] == 3
+        assert t.total("work") >= 0.003
+        assert "work" in t.report()
+
+    def test_timed_records_elapsed(self):
+        with timed() as out:
+            time.sleep(0.002)
+        assert out[0] >= 0.002
