@@ -7,7 +7,16 @@ and Algorithm 2 zeroth-order gradient estimation.
 """
 
 from repro.matching.annealing import AnnealingConfig, solve_annealing
-from repro.matching.batch import BatchProblem, BatchSolution, solve_relaxed_batch
+from repro.matching.batch import (
+    BatchProblem,
+    BatchSolution,
+    batch_barrier_gradient,
+    batch_barrier_value,
+    batch_reliability_slack,
+    clamp_predictions_batch,
+    solve_relaxed_batch,
+)
+from repro.matching.batch_vjp import BatchKKTGradients, batch_kkt_vjp
 from repro.matching.exact import ExactSolution, solve_branch_and_bound, solve_bruteforce
 from repro.matching.frank_wolfe import FrankWolfeConfig, solve_frank_wolfe
 from repro.matching.kkt import KKTGradients, kkt_jacobians, kkt_vjp
@@ -41,10 +50,12 @@ from repro.matching.speedup import (
     SpeedupFunction,
 )
 from repro.matching.zeroth_order import (
+    CrossZeroOrderGradients,
     ZeroOrderConfig,
     ZeroOrderGradients,
     optimal_perturbation,
     zo_vjp,
+    zo_vjp_cross,
 )
 
 __all__ = [
@@ -76,12 +87,20 @@ __all__ = [
     "BatchProblem",
     "BatchSolution",
     "solve_relaxed_batch",
+    "batch_barrier_value",
+    "batch_barrier_gradient",
+    "batch_reliability_slack",
+    "clamp_predictions_batch",
+    "BatchKKTGradients",
+    "batch_kkt_vjp",
     "KKTGradients",
     "kkt_vjp",
     "kkt_jacobians",
     "ZeroOrderConfig",
     "ZeroOrderGradients",
+    "CrossZeroOrderGradients",
     "zo_vjp",
+    "zo_vjp_cross",
     "optimal_perturbation",
     "IdentitySpeedup",
     "ExponentialDecaySpeedup",

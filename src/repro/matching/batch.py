@@ -1,23 +1,28 @@
 """Vectorized batch solver: many matching instances in one NumPy program.
 
-The zeroth-order estimator (Algorithm 2) solves S perturbed copies of the
-same instance per gradient estimate.  Solving them one-by-one wastes the
-vector units; this module runs mirror descent on a whole *batch* of
-instances simultaneously — all arrays carry a leading batch dimension and
-every update is a fused elementwise/`einsum` expression, following the
-hpc-parallel guidance (vectorize the outer loop, not just the inner one).
+MFCP's training round (Algorithm 2) generates large families of same-shape
+instances of the identical barrier program: the M semi-predicted instances
+of one epoch, the M×2S zeroth-order perturbations, the held-out validation
+rounds.  Solving them one-by-one wastes the vector units; this module runs
+mirror descent on a whole *batch* of instances simultaneously — all arrays
+carry a leading batch dimension and every update is a fused
+elementwise/`einsum` expression, following the hpc-parallel guidance
+(vectorize the outer loop, not just the inner one).
 
 Semantics match :func:`repro.matching.relaxed.solve_relaxed` with the
-``"mirror"`` projection, with two deliberate simplifications that keep the
-batch fully synchronous (no per-instance control flow):
+``"mirror"`` projection and normalized steps:
 
-- a *shared* fixed step size with per-instance step halving implemented by
-  masked updates instead of an early-exit line search;
-- all instances run the same number of iterations (no per-instance early
-  stopping); the returned objectives are those of the best iterate seen.
+- the line search is a *vectorized trial cascade*: steps ``lr / 2^h`` for
+  h = 0..halvings−1 are evaluated in one shot (the halving dimension is
+  folded into the batch dimension) and the largest feasible, improving
+  step wins independently per instance;
+- per-instance convergence masking: an instance whose objective stops
+  improving (scalar-path ``tol``/``patience`` semantics) or that accepts
+  no step is *frozen* — it is removed from the active set and pays no
+  further gradient or value work while the rest of the batch runs on.
 
 Supported objective: the sequential (convex) makespan barrier — exactly
-what the ZO estimator perturbs in the convex benchmarks; the non-convex ζ
+what the training loop batches in the convex benchmarks; the non-convex ζ
 case falls back to the scalar path automatically.
 """
 
@@ -27,7 +32,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["BatchProblem", "BatchSolution", "solve_relaxed_batch"]
+__all__ = [
+    "BatchProblem",
+    "BatchSolution",
+    "solve_relaxed_batch",
+    "batch_barrier_value",
+    "batch_barrier_gradient",
+    "batch_reliability_slack",
+    "clamp_predictions_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -40,11 +53,19 @@ class BatchProblem:
     beta: float = 5.0
     lam: float = 0.01
     entropy: float = 0.0
+    #: Storage/compute precision.  float64 (default) matches the scalar
+    #: solver bit-for-bit in the equivalence tests; float32 halves memory
+    #: traffic for throughput-bound consumers that tolerate ~1e-6 relative
+    #: error per objective — the zeroth-order estimator's perturbation
+    #: stacks, whose O(δ) smoothing bias dwarfs the rounding noise.
+    dtype: np.dtype = np.float64
 
     def __post_init__(self) -> None:
-        T = np.asarray(self.T, dtype=np.float64)
-        A = np.asarray(self.A, dtype=np.float64)
-        g = np.atleast_1d(np.asarray(self.gamma, dtype=np.float64))
+        if self.dtype not in (np.float32, np.float64):
+            raise ValueError("dtype must be np.float32 or np.float64")
+        T = np.asarray(self.T, dtype=self.dtype)
+        A = np.asarray(self.A, dtype=self.dtype)
+        g = np.atleast_1d(np.asarray(self.gamma, dtype=self.dtype))
         if T.ndim != 3 or A.shape != T.shape:
             raise ValueError("T and A must be (B, M, N) arrays of equal shape")
         if g.shape != (T.shape[0],):
@@ -74,49 +95,150 @@ class BatchProblem:
 
 @dataclass(frozen=True)
 class BatchSolution:
-    """Best iterates of the batch solve."""
+    """Final iterates of the batch solve.
+
+    ``iterations`` is the largest per-instance iteration count (instances
+    frozen by the convergence mask stop earlier); ``converged`` marks the
+    instances that were frozen before the iteration budget ran out.
+    """
 
     X: np.ndarray  # (B, M, N)
     objective: np.ndarray  # (B,)
     iterations: int
+    converged: np.ndarray | None = None  # (B,) bool
 
 
 _XEPS = 1e-12
 
 
-def _batch_value(X: np.ndarray, p: BatchProblem) -> np.ndarray:
-    """Barrier objective per instance; +inf where infeasible."""
-    loads = np.einsum("bmn,bmn->bm", X, p.T)
-    z = p.beta * loads
-    shift = z.max(axis=1, keepdims=True)
-    lse = (np.log(np.exp(z - shift).sum(axis=1)) + shift[:, 0]) / p.beta
-    slack = np.einsum("bmn,bmn->b", X, p.A) / (p.M * p.N) - p.gamma
-    out = np.where(slack > 0, lse - p.lam * np.log(np.maximum(slack, _XEPS)), np.inf)
-    if p.entropy:
+def clamp_predictions_batch(
+    T_hat: np.ndarray, A_hat: np.ndarray, gamma: np.ndarray | float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched :meth:`MatchingProblem.with_predictions` clamp rules.
+
+    Floors predicted times, clips predicted reliabilities into [0, 1] and
+    clamps each instance's γ to its strictest attainable threshold, so a
+    batch assembled from imperfect predictors never has an empty barrier
+    interior.  Returns ``(T, A, gamma)`` ready for :class:`BatchProblem`.
+    """
+    T_hat = np.asarray(T_hat)
+    A_hat = np.asarray(A_hat)
+    if T_hat.dtype != np.float32:
+        T_hat = T_hat.astype(np.float64, copy=False)
+        A_hat = A_hat.astype(np.float64, copy=False)
+    T = np.maximum(T_hat, 1e-4)
+    A = np.clip(A_hat, 0.0, 1.0)
+    if T.ndim != 3 or A.shape != T.shape:
+        raise ValueError("T_hat and A_hat must be (B, M, N) arrays of equal shape")
+    M = A.shape[1]
+    best_val = A.max(axis=1).mean(axis=1) / M
+    uniform_val = A.mean(axis=(1, 2)) / M
+    attainable = best_val - 0.05 * np.maximum(best_val - uniform_val, 1e-5)
+    return T, A, np.minimum(gamma, attainable)
+
+
+# --------------------------------------------------------------------- #
+# Array-level objective helpers.  X may carry extra leading dimensions
+# beyond (b, M, N) — the trial cascade exploits this by evaluating all
+# halvings in one call with X of shape (H, b, M, N).
+# --------------------------------------------------------------------- #
+
+
+def _slack(X: np.ndarray, A: np.ndarray, gamma: np.ndarray) -> np.ndarray:
+    M, N = X.shape[-2], X.shape[-1]
+    return np.einsum("...mn,...mn->...", X, A) / (M * N) - gamma
+
+
+def _value_from(
+    X: np.ndarray,
+    loads: np.ndarray,
+    slack: np.ndarray,
+    beta: float,
+    lam: float,
+    entropy: float,
+) -> np.ndarray:
+    """Barrier objective from precomputed loads/slack; +inf where infeasible."""
+    z = beta * loads
+    shift = z.max(axis=-1, keepdims=True)
+    lse = (np.log(np.exp(z - shift).sum(axis=-1)) + shift[..., 0]) / beta
+    out = np.where(slack > 0, lse - lam * np.log(np.maximum(slack, _XEPS)), np.inf)
+    if entropy:
         Xc = np.maximum(X, _XEPS)
-        out = out + p.entropy * np.sum(Xc * np.log(Xc), axis=(1, 2))
+        out = out + entropy * np.sum(Xc * np.log(Xc), axis=(-2, -1))
     return out
 
 
-def _batch_gradient(X: np.ndarray, p: BatchProblem, slack: np.ndarray) -> np.ndarray:
-    loads = np.einsum("bmn,bmn->bm", X, p.T)
-    z = p.beta * loads
-    z -= z.max(axis=1, keepdims=True)
+def _value(
+    X: np.ndarray,
+    T: np.ndarray,
+    A: np.ndarray,
+    gamma: np.ndarray,
+    beta: float,
+    lam: float,
+    entropy: float,
+) -> np.ndarray:
+    """Barrier objective per instance; +inf where infeasible.
+
+    ``X`` may carry extra leading dimensions beyond ``T``/``A``/``gamma``
+    (einsum broadcasts the ellipsis axes) — the trial cascade calls this
+    with X of shape (H, b, M, N) against (b, M, N) instance data.
+    """
+    loads = np.einsum("...mn,...mn->...m", X, T)
+    return _value_from(X, loads, _slack(X, A, gamma), beta, lam, entropy)
+
+
+def _gradient(
+    X: np.ndarray,
+    T: np.ndarray,
+    A: np.ndarray,
+    slack: np.ndarray,
+    beta: float,
+    lam: float,
+    entropy: float,
+) -> np.ndarray:
+    M, N = X.shape[-2], X.shape[-1]
+    loads = np.einsum("...mn,...mn->...m", X, T)
+    z = beta * loads
+    z -= z.max(axis=-1, keepdims=True)
     w = np.exp(z)
-    w /= w.sum(axis=1, keepdims=True)
-    grad = w[:, :, None] * p.T
-    grad -= (p.lam / (p.M * p.N)) * p.A / slack[:, None, None]
-    if p.entropy:
-        grad += p.entropy * (1.0 + np.log(np.maximum(X, _XEPS)))
+    w /= w.sum(axis=-1, keepdims=True)
+    grad = w[..., None] * T
+    grad = grad - (lam / (M * N)) * A / slack[..., None, None]
+    if entropy:
+        grad += entropy * (1.0 + np.log(np.maximum(X, _XEPS)))
     return grad
+
+
+def batch_barrier_value(X: np.ndarray, p: BatchProblem) -> np.ndarray:
+    """Eq. (9) barrier objective of every instance (``+inf`` if infeasible)."""
+    return _value(X, p.T, p.A, p.gamma, p.beta, p.lam, p.entropy)
+
+
+def batch_barrier_gradient(
+    X: np.ndarray, p: BatchProblem, slack: np.ndarray | None = None
+) -> np.ndarray:
+    """∇_X F of every instance.
+
+    ``slack`` overrides the reliability slack used by the barrier term —
+    the training loop passes a floored slack so gradients stay finite at
+    mildly infeasible iterates (see ``MFCPConfig.slack_floor``).
+    """
+    if slack is None:
+        slack = np.maximum(_slack(X, p.A, p.gamma), _XEPS)
+    return _gradient(X, p.T, p.A, slack, p.beta, p.lam, p.entropy)
+
+
+def batch_reliability_slack(X: np.ndarray, p: BatchProblem) -> np.ndarray:
+    """Eq. (4) reliability surplus g(X, A) − γ per instance."""
+    return _slack(X, p.A, p.gamma)
 
 
 def _feasible_start_batch(p: BatchProblem) -> np.ndarray:
     """Per-instance blend of uniform and reliability-greedy assignments
     (the batch analogue of MatchingProblem.feasible_start)."""
     B, M, N = p.B, p.M, p.N
-    uniform = np.full((B, M, N), 1.0 / M)
-    greedy = np.zeros((B, M, N))
+    uniform = np.full((B, M, N), 1.0 / M, dtype=p.T.dtype)
+    greedy = np.zeros((B, M, N), dtype=p.T.dtype)
     b_idx = np.repeat(np.arange(B), N)
     n_idx = np.tile(np.arange(N), B)
     greedy[b_idx, p.A.argmax(axis=1).ravel(), n_idx] = 1.0
@@ -140,53 +262,208 @@ def solve_relaxed_batch(
     max_iters: int = 200,
     x0: np.ndarray | None = None,
     halvings: int = 6,
+    tol: float = 0.0,
+    patience: int = 5,
+    adaptive_trials: bool = False,
 ) -> BatchSolution:
     """Mirror descent on every instance of the batch simultaneously.
 
     Each iteration proposes steps at ``lr / 2^h`` for h = 0..halvings−1 in
-    a *vectorized* trial cascade: the largest step whose iterate is
-    feasible and improving wins, independently per instance; instances with
-    no accepted step keep their current iterate (they have effectively
-    converged).
+    one fused evaluation (the halving axis rides along the batch axis);
+    the largest step whose iterate is feasible and improving wins,
+    independently per instance.  An instance that accepts no step — or,
+    with ``tol > 0``, improves by less than ``tol`` for ``patience``
+    consecutive iterations (the scalar solver's early-stop rule) — is
+    frozen: its iterate is final and it is dropped from the active set, so
+    the remaining instances' gradient/value work shrinks with it.
+
+    With ``adaptive_trials=True`` each instance remembers its last
+    accepted halving level and starts the next line search one level
+    above it (step-memory line search) instead of always retrying the
+    full ``lr`` step.  Warm-started stacks whose instances sit near their
+    optima reject the full step almost every iteration, so this removes
+    most trial evaluations — but it no longer matches the scalar solver's
+    "largest step first" rule exactly, so it stays off by default and is
+    only used for the zeroth-order perturbation stacks, whose estimates
+    are stochastic to begin with (see DESIGN.md, batched training path).
     """
     if lr <= 0 or max_iters <= 0 or halvings < 1:
         raise ValueError("lr, max_iters must be > 0 and halvings >= 1")
-    X = _feasible_start_batch(problem) if x0 is None else np.array(x0, dtype=np.float64)
+    if tol < 0 or patience < 1:
+        raise ValueError("tol must be >= 0 and patience >= 1")
+    X = _feasible_start_batch(problem) if x0 is None else np.array(x0, dtype=problem.T.dtype)
     if X.shape != problem.T.shape:
         raise ValueError(f"x0 must have shape {problem.T.shape}, got {X.shape}")
+    B, M, N = problem.B, problem.M, problem.N
     # Repair any infeasible warm starts by swapping in the blend start.
-    slack0 = np.einsum("bmn,bmn->b", X, problem.A) / (problem.M * problem.N) - problem.gamma
+    slack0 = _slack(X, problem.A, problem.gamma)
     if np.any(slack0 <= 0):
         fresh = _feasible_start_batch(problem)
         X = np.where((slack0 <= 0)[:, None, None], fresh, X)
 
-    f_cur = _batch_value(X, problem)
-    best_X, best_f = X.copy(), f_cur.copy()
-    steps = lr / (2.0 ** np.arange(halvings))  # (H,)
+    beta, lam, entropy = problem.beta, problem.lam, problem.entropy
+    MN = M * N
+    out_X = X.copy()
+    loads_a = np.einsum("bmn,bmn->bm", X, problem.T)
+    slack_a = np.einsum("bmn,bmn->b", X, problem.A) / MN - problem.gamma
+    out_f = _value_from(X, loads_a, slack_a, beta, lam, entropy)
+    converged = np.zeros(B, dtype=bool)
+    max_it_used = 0
+    # Python-float steps: weak scalars under NEP 50, so float32 batches
+    # are not silently promoted back to float64 by the cascade.
+    steps = [lr / 2.0**h for h in range(halvings)]
+    # Per-instance first-trial level for the adaptive policy (dtype of the
+    # gathered array matches the batch so the gather does not promote).
+    steps_arr = np.asarray(steps, dtype=problem.T.dtype)
+    k = np.zeros(B, dtype=np.intp) if adaptive_trials else None
+
+    # Active-set state (compacted copies; `active` maps back to batch slots).
+    # loads/slack/logX ride along so the accepted trial's objective pieces
+    # are reused for the next iteration's gradient instead of recomputed.
+    active = np.arange(B)
+    Xa, fa = X, out_f.copy()
+    Ta, Aa, ga = problem.T, problem.A, problem.gamma
+    lamAa = (lam / MN) * Aa  # hoisted barrier-gradient constant
+    log_a = np.log(np.maximum(X, _XEPS)) if entropy else None
+    stall = np.zeros(B, dtype=np.int64)
+
+    def _val(loads: np.ndarray, slack: np.ndarray, ent: np.ndarray | float) -> np.ndarray:
+        z = beta * loads
+        shift = z.max(axis=-1, keepdims=True)
+        lse = (np.log(np.exp(z - shift).sum(axis=-1)) + shift[..., 0]) / beta
+        return np.where(slack > 0, lse - lam * np.log(np.maximum(slack, _XEPS)), np.inf) + ent
+
     for it in range(max_iters):
-        slack = (
-            np.einsum("bmn,bmn->b", X, problem.A) / (problem.M * problem.N)
-            - problem.gamma
-        )
-        grad = _batch_gradient(X, problem, np.maximum(slack, _XEPS))
+        if active.size == 0:
+            break
+        # ∇F from the carried loads/slack (Eq. 9 pieces of the current X).
+        z = beta * loads_a
+        z -= z.max(axis=-1, keepdims=True)
+        w = np.exp(z, out=z)
+        w /= w.sum(axis=-1, keepdims=True)
+        # Accepted iterates always have slack > 0 (the value is +inf
+        # otherwise), so divide directly like the scalar barrier_gradient.
+        grad = w[:, :, None] * Ta
+        grad -= lamAa / slack_a[:, None, None]
+        if entropy:
+            grad += entropy * (1.0 + log_a)
         # Normalized steps (see SolverConfig.normalize_steps): bound the
         # multiplicative update per instance regardless of barrier stiffness.
-        scale = np.maximum(np.abs(grad).max(axis=(1, 2)), 1e-9)  # (B,)
-        expo = -(steps[:, None, None, None] / scale[None, :, None, None]) * grad[None]
-        Z = X[None] * np.exp(np.clip(expo, -50.0, 50.0))
-        Z /= Z.sum(axis=2, keepdims=True)
-        f_trial = np.stack([_batch_value(Z[h], problem) for h in range(len(steps))])
-        improving = f_trial <= f_cur[None] + 1e-12  # (H, B)
-        any_ok = improving.any(axis=0)
-        first_ok = np.argmax(improving, axis=0)  # first (largest) ok step
-        chosen = Z[first_ok, np.arange(problem.B)]
-        f_chosen = f_trial[first_ok, np.arange(problem.B)]
-        X = np.where(any_ok[:, None, None], chosen, X)
-        f_cur = np.where(any_ok, f_chosen, f_cur)
-        better = f_cur < best_f
-        if np.any(better):
-            best_X[better] = X[better]
-            best_f = np.minimum(best_f, f_cur)
-        if not np.any(any_ok):
-            return BatchSolution(X=best_X, objective=best_f, iterations=it + 1)
-    return BatchSolution(X=best_X, objective=best_f, iterations=max_iters)
+        # They also bound |expo| by lr, so no overflow clamp is needed below.
+        scale = np.maximum(np.abs(grad).max(axis=(1, 2)), 1e-9)  # (b,)
+        # Two-stage trial cascade.  Stage 1: the first-trial step for
+        # every instance — the common accept, evaluated on (b, M, N)
+        # only.  Cascade mode always opens at the full step; adaptive
+        # mode opens at each instance's remembered level.
+        neg_s1 = -steps_arr[k] if adaptive_trials else -steps[0]
+        expo = (neg_s1 / scale)[:, None, None] * grad
+        np.exp(expo, out=expo)
+        Z = Xa * expo
+        Z /= Z.sum(axis=1, keepdims=True)
+        loads_new = np.einsum("bmn,bmn->bm", Z, Ta)
+        slack_new = np.einsum("bmn,bmn->b", Z, Aa) / MN - ga
+        if entropy:
+            Zc = np.maximum(Z, _XEPS)
+            log_new = np.log(Zc)
+            ent_new = entropy * np.einsum("bmn,bmn->b", Zc, log_new)
+        else:
+            log_new, ent_new = None, 0.0
+        f_new = _val(loads_new, slack_new, ent_new)  # (b,)
+        any_ok = f_new <= fa + 1e-12
+        lvl = k.copy() if adaptive_trials else None  # accepted level
+        if halvings > 1 and not any_ok.all():
+            # Stage 2: halve step by step, each round only for the
+            # instances still rejecting — the typical rejector accepts the
+            # very next halving, so evaluating all H−1 at once wastes most
+            # of the cascade's work.  In cascade mode every rejector is at
+            # the same level (semantics unchanged: the first, i.e. largest,
+            # feasible improving step wins); in adaptive mode each carries
+            # its own next level and drops out once it runs past H−1.
+            r = np.flatnonzero(~any_ok)
+            lvl_r = (k[r] + 1) if adaptive_trials else None
+            for h in range(1, halvings):
+                if adaptive_trials:
+                    alive = lvl_r < halvings
+                    if not alive.all():
+                        r, lvl_r = r[alive], lvl_r[alive]
+                if r.size == 0:
+                    break
+                neg_s = -steps_arr[lvl_r] if adaptive_trials else -steps[h]
+                expo_r = (neg_s / scale[r])[:, None, None] * grad[r]
+                np.exp(expo_r, out=expo_r)
+                Zr = Xa[r] * expo_r
+                Zr /= Zr.sum(axis=1, keepdims=True)
+                loads_r = np.einsum("rmn,rmn->rm", Zr, Ta[r])
+                slack_r = np.einsum("rmn,rmn->r", Zr, Aa[r]) / MN - ga[r]
+                if entropy:
+                    Zrc = np.maximum(Zr, _XEPS)
+                    log_r = np.log(Zrc)
+                    ent_r = entropy * np.einsum("rmn,rmn->r", Zrc, log_r)
+                else:
+                    log_r, ent_r = None, 0.0
+                f_r = _val(loads_r, slack_r, ent_r)
+                ok = f_r <= fa[r] + 1e-12
+                if ok.any():
+                    acc = r[ok]
+                    Z[acc] = Zr[ok]
+                    f_new[acc] = f_r[ok]
+                    loads_new[acc] = loads_r[ok]
+                    slack_new[acc] = slack_r[ok]
+                    if entropy:
+                        log_new[acc] = log_r[ok]
+                    any_ok[acc] = True
+                    if adaptive_trials:
+                        lvl[acc] = lvl_r[ok]
+                        lvl_r = lvl_r[~ok]
+                    r = r[~ok]
+                if adaptive_trials:
+                    lvl_r = lvl_r + 1
+            rem = np.flatnonzero(~any_ok)
+            if rem.size:
+                # No trial improved: keep the current iterate (frozen below).
+                Z[rem] = Xa[rem]
+                f_new[rem] = fa[rem]
+                loads_new[rem] = loads_a[rem]
+                slack_new[rem] = slack_a[rem]
+                if entropy:
+                    log_new[rem] = log_a[rem]
+        if adaptive_trials:
+            # Step memory with decrease-on-accept: retry one level larger
+            # next iteration so the step size can grow back.
+            np.maximum(lvl - 1, 0, out=k, where=any_ok)
+        Xa = Z
+        max_it_used = it + 1
+        if tol > 0:
+            # Scalar stall rule: reset on a >= tol improvement, freeze
+            # after `patience` consecutive sub-tol iterations.  (Stall
+            # values of no-accept instances are irrelevant — they are
+            # frozen and dropped below regardless.)
+            stall += 1
+            stall[fa - f_new >= tol] = 0
+            frozen = stall >= patience
+            frozen |= ~any_ok
+        else:
+            frozen = ~any_ok
+        loads_a, slack_a, log_a = loads_new, slack_new, log_new
+        fa = f_new
+        if np.any(frozen):
+            done = active[frozen]
+            out_X[done] = Xa[frozen]
+            out_f[done] = fa[frozen]
+            converged[done] = True
+            keep = ~frozen
+            active, Xa, fa, stall = active[keep], Xa[keep], fa[keep], stall[keep]
+            loads_a, slack_a = loads_a[keep], slack_a[keep]
+            if entropy:
+                log_a = log_a[keep]
+            Ta, Aa, ga = problem.T[active], problem.A[active], problem.gamma[active]
+            lamAa = lamAa[keep]
+            if adaptive_trials:
+                k = k[keep]
+
+    if active.size:
+        out_X[active] = Xa
+        out_f[active] = fa
+    return BatchSolution(
+        X=out_X, objective=out_f, iterations=max_it_used, converged=converged
+    )

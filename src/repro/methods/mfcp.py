@@ -20,20 +20,48 @@ Training pipeline (Fig. 3 / Algorithm 2):
    The prediction gradients are then backpropagated through the predictor
    networks by the autograd tape, and ω and φ are updated on alternating
    epochs ("we fix ω when optimizing φ, and fix φ when optimizing ω").
+
+**Fused batched round** (default, ``MFCPConfig.batched``): Algorithm 2's
+literal per-cluster loop solves M relaxed instances (plus, for MFCP-FG,
+M×2S perturbed ones) sequentially — yet they are same-shape copies of the
+identical convex barrier program.  The batched path assembles all of them
+into one :class:`repro.matching.batch.BatchProblem`, solves them in a
+single vectorized mirror-descent program warm-started from the oracle
+solution, pulls all M upstream gradients back in one stacked KKT adjoint
+(:func:`repro.matching.batch_vjp.batch_kkt_vjp`) or one cross-cluster
+zeroth-order batch (:func:`repro.matching.zeroth_order.zo_vjp_cross`),
+and only then touches Python-level autograd for the M small predictor
+updates.  Non-convex ζ objectives (and the Table 1 ablation knobs) fall
+back to the scalar path automatically; see DESIGN.md "Batched training
+path" for the exact semantics deltas.
+
+Per-phase wall-clock totals are accumulated in :attr:`MFCP.timings`
+(keys: ``pretrain`` / ``solve`` / ``vjp`` / ``optimizer`` /
+``validation``) so speedups are measured, not asserted —
+``benchmarks/bench_micro.py`` reports them.
 """
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.matching.batch import (
+    BatchProblem,
+    batch_barrier_gradient,
+    clamp_predictions_batch,
+    solve_relaxed_batch,
+)
+from repro.matching.batch_vjp import batch_kkt_vjp
 from repro.matching.kkt import kkt_vjp
 from repro.matching.objectives import barrier_gradient, reliability_value
 from repro.matching.problem import MatchingProblem
 from repro.matching.relaxed import SolverConfig, solve_relaxed
-from repro.matching.zeroth_order import ZeroOrderConfig, zo_vjp
-from repro.methods.base import BaseMethod, FitContext
+from repro.matching.zeroth_order import ZeroOrderConfig, zo_vjp, zo_vjp_cross
+from repro.methods.base import BaseMethod, FitContext, MatchSpec
 from repro.nn import Adam, clip_grad_norm
 from repro.predictors.models import PredictorPair
 from repro.predictors.training import TrainConfig, train_reliability, train_time_mse
@@ -74,6 +102,13 @@ class MFCPConfig:
     #: start; 0 disables.
     validation_rounds: int = 4
     validate_every: int = 5
+    #: Fuse each training epoch into one cross-cluster batched solve (and
+    #: one batched adjoint / zeroth-order batch).  Applies only to the
+    #: convex sequential makespan barrier with the mirror projection; the
+    #: non-convex ζ objective and the Table 1 ablation knobs automatically
+    #: stay on the scalar per-cluster loop.  Set False to force the
+    #: paper-literal Algorithm 2 loop everywhere (escape hatch).
+    batched: bool = True
 
     def __post_init__(self) -> None:
         if self.epochs <= 0 or self.round_size <= 0:
@@ -104,8 +139,32 @@ class MFCP(BaseMethod):
         self.hidden = hidden
         self._pairs: list[PredictorPair] = []
         self.loss_history: list[float] = []
+        #: Per-phase wall-clock seconds of the last fit (pretrain / solve /
+        #: vjp / optimizer / validation), reset at every fit.
+        self.timings: dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def _phase(self, key: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timings[key] = self.timings.get(key, 0.0) + time.perf_counter() - t0
+
+    def _can_batch(self, spec: MatchSpec) -> bool:
+        """Whether the fused batched round matches the scalar semantics:
+        convex sequential makespan barrier, mirror projection with
+        normalized steps (the batch solver's only mode)."""
+        s = spec.solver
+        return (
+            self.config.batched
+            and spec.cost == "makespan"
+            and spec.penalty == "log_barrier"
+            and s.projection == "mirror"
+            and s.normalize_steps
+        )
 
     def _fit(self, ctx: FitContext) -> None:
         if self.gradient == "analytic" and ctx.spec.speedup is not None:
@@ -114,14 +173,16 @@ class MFCP(BaseMethod):
                 "use MFCP-FG for parallel execution (paper §4.5)"
             )
         cfg = self.config
+        self.timings = {}
         # 1. Warm start with MSE pretraining.
         self._pairs = []
-        for ds in ctx.datasets:
-            pair = PredictorPair(ctx.feature_dim, self.hidden,
-                                 standardizer=ctx.standardizer, rng=spawn(ctx.rng))
-            train_time_mse(pair.time, ds.Z, ds.t, cfg.pretrain, spawn(ctx.rng))
-            train_reliability(pair.reliability, ds.Z, ds.a, cfg.pretrain, spawn(ctx.rng))
-            self._pairs.append(pair)
+        with self._phase("pretrain"):
+            for ds in ctx.datasets:
+                pair = PredictorPair(ctx.feature_dim, self.hidden,
+                                     standardizer=ctx.standardizer, rng=spawn(ctx.rng))
+                train_time_mse(pair.time, ds.Z, ds.t, cfg.pretrain, spawn(ctx.rng))
+                train_reliability(pair.reliability, ds.Z, ds.a, cfg.pretrain, spawn(ctx.rng))
+                self._pairs.append(pair)
 
         # 2. Regret training.
         opt_time = [Adam(p.time.parameters(), lr=cfg.lr) for p in self._pairs]
@@ -148,6 +209,7 @@ class MFCP(BaseMethod):
         best_score = self._validation_score(ctx, val_rounds) if val_rounds else None
         best_state = self._snapshot() if val_rounds else None
 
+        batched = self._can_batch(ctx.spec)
         self.loss_history = []
         for epoch in range(cfg.epochs):
             idx = ctx.rng.choice(n_train, size=round_size, replace=False)
@@ -159,7 +221,12 @@ class MFCP(BaseMethod):
                 continue  # degenerate round (γ unattainable); resample next epoch
             update_time = (not cfg.alternate) or (epoch % 2 == 0)
             update_rel = (not cfg.alternate) or (epoch % 2 == 1)
-            epoch_loss = self._train_round(
+            round_fn = (
+                self._train_round_batched
+                if batched and not true_problem.is_parallel
+                else self._train_round
+            )
+            epoch_loss = round_fn(
                 ctx, Z, true_problem, opt_time, opt_rel, update_time, update_rel
             )
             self.loss_history.append(epoch_loss)
@@ -172,6 +239,10 @@ class MFCP(BaseMethod):
             final = self._validation_score(ctx, val_rounds)
             if final > best_score:  # type: ignore[operator]
                 self._restore(best_state)
+
+    # ------------------------------------------------------------------ #
+    # Scalar (paper-literal) round: one cluster at a time.
+    # ------------------------------------------------------------------ #
 
     def _train_round(
         self,
@@ -188,44 +259,159 @@ class MFCP(BaseMethod):
         M, N = true_problem.M, true_problem.N
         T_true = np.array(true_problem.T)
         A_true = np.array(true_problem.A)
-        oracle_sol = solve_relaxed(true_problem, ctx.spec.solver)
+        with self._phase("solve"):
+            oracle_sol = solve_relaxed(true_problem, ctx.spec.solver)
         total_loss = 0.0
 
         for i in range(M):
             # Alg. 2 line 3: only cluster i's rows are predicted.
-            t_hat = self._pairs[i].time.forward(Z)
-            a_hat = self._pairs[i].reliability.forward(Z)
+            with self._phase("optimizer"):
+                t_hat = self._pairs[i].time.forward(Z)
+                a_hat = self._pairs[i].reliability.forward(Z)
             T_hat = T_true.copy()
             A_hat = A_true.copy()
             T_hat[i] = t_hat.data
             A_hat[i] = a_hat.data
             pred_problem = true_problem.with_predictions(T_hat, A_hat)
-            sol = solve_relaxed(pred_problem, ctx.spec.solver, x0=oracle_sol.X)
+            with self._phase("solve"):
+                sol = solve_relaxed(pred_problem, ctx.spec.solver, x0=oracle_sol.X)
 
             g_X = self._upstream_gradient(sol.X, true_problem)
             total_loss += self._regret_proxy(sol.X, oracle_sol.X, true_problem)
 
-            if self.gradient == "analytic":
-                kg = kkt_vjp(sol.X, pred_problem, g_X)
-                dt, da = kg.dT[i], kg.dA[i]
-            else:
-                zg = zo_vjp(
-                    pred_problem, sol, i, g_X,
-                    cfg.zero_order, solver_config=ctx.spec.solver, rng=spawn(ctx.rng),
-                )
-                dt, da = zg.dt, zg.da
+            with self._phase("vjp"):
+                if self.gradient == "analytic":
+                    kg = kkt_vjp(sol.X, pred_problem, g_X)
+                    dt, da = kg.dT[i], kg.dA[i]
+                else:
+                    zg = zo_vjp(
+                        pred_problem, sol, i, g_X,
+                        cfg.zero_order, solver_config=ctx.spec.solver, rng=spawn(ctx.rng),
+                    )
+                    dt, da = zg.dt, zg.da
 
-            if update_time:
-                opt_time[i].zero_grad()
-                t_hat.backward(dt)
-                clip_grad_norm(opt_time[i].params, cfg.grad_clip)
-                opt_time[i].step()
-            if update_rel:
-                opt_rel[i].zero_grad()
-                a_hat.backward(da)
-                clip_grad_norm(opt_rel[i].params, cfg.grad_clip)
-                opt_rel[i].step()
+            with self._phase("optimizer"):
+                if update_time:
+                    opt_time[i].zero_grad()
+                    t_hat.backward(dt)
+                    clip_grad_norm(opt_time[i].params, cfg.grad_clip)
+                    opt_time[i].step()
+                if update_rel:
+                    opt_rel[i].zero_grad()
+                    a_hat.backward(da)
+                    clip_grad_norm(opt_rel[i].params, cfg.grad_clip)
+                    opt_rel[i].step()
         return total_loss / M
+
+    # ------------------------------------------------------------------ #
+    # Fused batched round: all M clusters in one cross-cluster solve.
+    # ------------------------------------------------------------------ #
+
+    def _train_round_batched(
+        self,
+        ctx: FitContext,
+        Z: np.ndarray,
+        true_problem: MatchingProblem,
+        opt_time: list[Adam],
+        opt_rel: list[Adam],
+        update_time: bool,
+        update_rel: bool,
+    ) -> float:
+        """One epoch as a single batched NumPy program (see module docs)."""
+        cfg = self.config
+        M, N = true_problem.M, true_problem.N
+        T_true = np.array(true_problem.T)
+        A_true = np.array(true_problem.A)
+        scfg: SolverConfig = ctx.spec.solver
+
+        # Forward passes stay per-cluster (each pair owns its weights); the
+        # semi-predicted matrices are assembled by one diagonal row write.
+        with self._phase("optimizer"):
+            t_hats = [p.time.forward(Z) for p in self._pairs]
+            a_hats = [p.reliability.forward(Z) for p in self._pairs]
+        diag = np.arange(M)
+        # Instances 0..M−1 are the semi-predicted problems; instance M is
+        # the oracle (fully measured) problem, so the whole epoch — oracle
+        # included — is one batched solve.  (The scalar path warm-starts
+        # the pred solves from the oracle solution instead; the fused batch
+        # cold-starts all instances from the feasible blend, which changes
+        # nothing at the optimum of these convex programs — see DESIGN.md.)
+        T_stack = np.broadcast_to(T_true, (M + 1, M, N)).copy()
+        A_stack = np.broadcast_to(A_true, (M + 1, M, N)).copy()
+        T_stack[diag, diag] = np.stack([t.data for t in t_hats])
+        A_stack[diag, diag] = np.stack([a.data for a in a_hats])
+        T_b, A_b, gammas = clamp_predictions_batch(T_stack, A_stack, true_problem.gamma)
+        full_batch = BatchProblem(
+            T=T_b, A=A_b, gamma=gammas,
+            beta=true_problem.beta, lam=true_problem.lam, entropy=true_problem.entropy,
+        )
+        with self._phase("solve"):
+            full_sol = solve_relaxed_batch(
+                full_batch,
+                lr=scfg.lr,
+                max_iters=scfg.max_iters,
+                tol=scfg.tol,
+                patience=scfg.patience,
+            )
+        X = full_sol.X[:M]  # (M, M, N) semi-predicted optima
+        X_oracle = full_sol.X[M]
+        batch = BatchProblem(
+            T=T_b[:M], A=A_b[:M], gamma=gammas[:M],
+            beta=true_problem.beta, lam=true_problem.lam, entropy=true_problem.entropy,
+        )
+
+        # Batched upstream gradients under the *true* problem, slack-floored
+        # exactly like the scalar _upstream_gradient (flooring the slack ≡
+        # shifting γ so the floored slack is attained at X*).
+        true_batch = BatchProblem(
+            T=np.broadcast_to(T_true, (M, M, N)),
+            A=np.broadcast_to(A_true, (M, M, N)),
+            gamma=np.full(M, true_problem.gamma),
+            beta=true_problem.beta,
+            lam=true_problem.lam,
+            entropy=true_problem.entropy,
+        )
+        slack = np.einsum("bmn,mn->b", X, A_true) / (M * N) - true_problem.gamma
+        g_X = batch_barrier_gradient(
+            X, true_batch, slack=np.maximum(slack, cfg.slack_floor)
+        ) / N
+
+        # Monitoring loss: batched Eq. (12) regret proxy on the relaxed
+        # matchings (LSE makespan under the truth, oracle-centered).
+        loads = np.einsum("bmn,mn->bm", X, T_true)
+        z = true_problem.beta * loads
+        shift = z.max(axis=1, keepdims=True)
+        lse = (np.log(np.exp(z - shift).sum(axis=1)) + shift[:, 0]) / true_problem.beta
+        oracle_cost = self._regret_reference(X_oracle, true_problem)
+        total_loss = float(np.mean(lse - oracle_cost)) / N
+
+        with self._phase("vjp"):
+            if self.gradient == "analytic":
+                kg = batch_kkt_vjp(X, batch, g_X)
+                dts = kg.dT[diag, diag]  # (M, N): instance i, cluster-i rows
+                das = kg.dA[diag, diag]
+            else:
+                zg = zo_vjp_cross(
+                    batch, X, diag, g_X,
+                    cfg.zero_order, solver_config=scfg, rng=spawn(ctx.rng),
+                )
+                dts, das = zg.dt, zg.da
+
+        with self._phase("optimizer"):
+            for i in range(M):
+                if update_time:
+                    opt_time[i].zero_grad()
+                    t_hats[i].backward(dts[i])
+                    clip_grad_norm(opt_time[i].params, cfg.grad_clip)
+                    opt_time[i].step()
+                if update_rel:
+                    opt_rel[i].zero_grad()
+                    a_hats[i].backward(das[i])
+                    clip_grad_norm(opt_rel[i].params, cfg.grad_clip)
+                    opt_rel[i].step()
+        return total_loss
+
+    # ------------------------------------------------------------------ #
 
     def _snapshot(self) -> list[tuple[dict, dict]]:
         """State dicts of every predictor pair (for model selection)."""
@@ -243,12 +429,45 @@ class MFCP(BaseMethod):
         from repro.matching.objectives import decision_cost
         from repro.matching.rounding import round_assignment
 
+        with self._phase("validation"):
+            if self._can_batch(ctx.spec) and not any(
+                p.is_parallel for _, p in val_rounds
+            ):
+                return self._validation_score_batched(ctx, val_rounds)
+            total = 0.0
+            for Z, true_problem in val_rounds:
+                T_hat, A_hat = self._predict_rows(Z)
+                pred_problem = true_problem.with_predictions(T_hat, A_hat)
+                sol = solve_relaxed(pred_problem, ctx.spec.solver)
+                X = round_assignment(sol.X, pred_problem)
+                total += decision_cost(X, true_problem) / true_problem.N
+            return total / len(val_rounds)
+
+    def _validation_score_batched(self, ctx: FitContext, val_rounds: list) -> float:
+        """All held-out rounds solved in one batch (same scoring rule)."""
+        from repro.matching.objectives import decision_cost
+        from repro.matching.rounding import round_assignment
+
+        scfg = ctx.spec.solver
+        preds = [self._predict_rows(Z) for Z, _ in val_rounds]
+        T_hat = np.stack([p[0] for p in preds])
+        A_hat = np.stack([p[1] for p in preds])
+        gammas = np.array([p.gamma for _, p in val_rounds])
+        T_b, A_b, g_b = clamp_predictions_batch(T_hat, A_hat, gammas)
+        bp = BatchProblem(
+            T=T_b, A=A_b, gamma=g_b,
+            beta=val_rounds[0][1].beta,
+            lam=val_rounds[0][1].lam,
+            entropy=val_rounds[0][1].entropy,
+        )
+        sol = solve_relaxed_batch(
+            bp, lr=scfg.lr, max_iters=scfg.max_iters, tol=scfg.tol,
+            patience=scfg.patience,
+        )
         total = 0.0
-        for Z, true_problem in val_rounds:
-            T_hat, A_hat = self._predict_rows(Z)
-            pred_problem = true_problem.with_predictions(T_hat, A_hat)
-            sol = solve_relaxed(pred_problem, ctx.spec.solver)
-            X = round_assignment(sol.X, pred_problem)
+        for b, (Z, true_problem) in enumerate(val_rounds):
+            pred_problem = true_problem.with_predictions(T_hat[b], A_hat[b])
+            X = round_assignment(sol.X[b], pred_problem)
             total += decision_cost(X, true_problem) / true_problem.N
         return total / len(val_rounds)
 
@@ -274,6 +493,14 @@ class MFCP(BaseMethod):
                 true_problem, gamma=true_problem.gamma - (self.config.slack_floor - slack)
             )
         return barrier_gradient(X_star, problem) / true_problem.N
+
+    @staticmethod
+    def _regret_reference(
+        X_oracle: np.ndarray, true_problem: MatchingProblem
+    ) -> float:
+        from repro.matching.objectives import smooth_cost
+
+        return smooth_cost(X_oracle, true_problem)
 
     @staticmethod
     def _regret_proxy(
