@@ -179,6 +179,60 @@ def measure_train_round(gradient: str, *, epochs: int = 5, repeats: int = 5) -> 
     return rec
 
 
+# --------------------------------------------------------------------- #
+# Telemetry overhead gate: with telemetry off (the default), the
+# instrumented call sites must cost < 2% of a training epoch.  We bound
+# the overhead from above: count the events an identical fit records when
+# a recorder IS active, microbenchmark the cost of one disabled
+# instrument call (one contextvar read + one branch — the hot solver
+# loops hoist even that, so this overestimates), and compare the product
+# against the off-mode core time.
+# --------------------------------------------------------------------- #
+
+
+def measure_telemetry_overhead(
+    gradient: str = "analytic", *, epochs: int = 2, repeats: int = 3
+) -> dict:
+    from io import StringIO
+
+    from repro import telemetry
+
+    off_core = min(
+        _train_round_case(gradient, True, epochs=epochs)[0] for _ in range(repeats)
+    )
+
+    sink = StringIO()
+    with telemetry.recording(mode="summary", run="bench_overhead", stream=sink) as rec:
+        _train_round_case(gradient, True, epochs=epochs)
+        events = rec.events_recorded
+
+    n = 100_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        telemetry.counter_add("bench/noop")
+    noop_s = (time.perf_counter() - t0) / n
+
+    bound_s = events * noop_s
+    return {
+        "off_core_s": round(off_core, 4),
+        "events_per_fit": int(events),
+        "noop_call_ns": round(noop_s * 1e9, 1),
+        "overhead_bound_s": round(bound_s, 6),
+        "overhead_frac": round(bound_s / off_core, 6),
+    }
+
+
+def test_telemetry_off_overhead_smoke():
+    """Gate (CI): disabled telemetry adds < 2% to a training epoch."""
+    rec = measure_telemetry_overhead("analytic", epochs=2, repeats=2)
+    assert rec["events_per_fit"] > 0, "instrumentation recorded nothing"
+    assert rec["overhead_frac"] < 0.02, (
+        f"telemetry off-mode overhead bound {100 * rec['overhead_frac']:.2f}% "
+        f"exceeds 2% ({rec['events_per_fit']} events x {rec['noop_call_ns']} ns "
+        f"vs {rec['off_core_s']} s core)"
+    )
+
+
 def test_train_round_fused_smoke():
     """Smoke check (CI): the fused batched round beats the scalar path for
     both gradient modes and its loss trajectory is finite."""
@@ -208,6 +262,9 @@ def main() -> None:
             f"batched {rec['batched']['s_per_epoch']*1e3:.1f} ms/epoch "
             f"-> {rec['speedup']:.2f}x"
         )
+    results["telemetry_overhead"] = measure_telemetry_overhead("analytic")
+    frac = results["telemetry_overhead"]["overhead_frac"]
+    print(f"telemetry off-mode overhead bound: {100 * frac:.3f}% of core time")
     BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {BENCH_JSON}")
 

@@ -3,7 +3,9 @@
 Commands
 --------
 ``experiments {fig2,table1,fig4,fig5,table2,dfl}``
-    Regenerate a paper artifact (``--profile full`` for paper sizes).
+    Regenerate a paper artifact (``--profile full`` for paper sizes,
+    ``--telemetry {off,summary,jsonl}`` for instrumentation, ``--seeds``
+    to override the seed list).
 ``clusters``
     Print the archetype catalog and the A/B/C settings.
 ``pool``
@@ -38,6 +40,13 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["fig2", "table1", "fig4", "fig5", "table2", "dfl"])
     p_exp.add_argument("--profile", choices=["fast", "full"], default=None,
                        help="override REPRO_PROFILE")
+    p_exp.add_argument("--telemetry", choices=["off", "summary", "jsonl"],
+                       default=None,
+                       help="override REPRO_TELEMETRY (jsonl writes one run "
+                            "log per experiment under results/telemetry/)")
+    p_exp.add_argument("--seeds", default=None, metavar="S0,S1,...",
+                       help="override the config's seed list "
+                            "(comma-separated ints; sets REPRO_SEEDS)")
 
     sub.add_parser("clusters", help="print the cluster archetype catalog")
 
@@ -58,6 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     if args.profile:
         os.environ["REPRO_PROFILE"] = args.profile
+    if args.telemetry:
+        os.environ["REPRO_TELEMETRY"] = args.telemetry
+    if args.seeds:
+        try:
+            seeds = tuple(int(s) for s in args.seeds.split(",") if s.strip())
+        except ValueError:
+            print(f"invalid --seeds value: {args.seeds!r}", file=sys.stderr)
+            return 2
+        if not seeds:
+            print("--seeds needs at least one integer", file=sys.stderr)
+            return 2
+        os.environ["REPRO_SEEDS"] = ",".join(str(s) for s in seeds)
     from repro.experiments import dfl_landscape, fig2, fig4, fig5, table1, table2
 
     mains = {

@@ -53,6 +53,7 @@ def run_cluster_scaling(
             config,
             n_tasks=TASKS_PER_CLUSTER * m,
             verbose=verbose,
+            run_name=f"cluster_scaling_m{m}",
         )
     return results
 

@@ -4,6 +4,15 @@ Profile selection: ``REPRO_PROFILE=full`` in the environment switches every
 harness from the quick benchmark-friendly sizes to the paper-faithful ones
 (more seeds, more evaluation rounds, longer MFCP training).  Both profiles
 run the identical code paths — FULL only changes counts.
+
+Cross-cutting run knobs travel the same way, so every experiment module
+(each of which constructs its config independently) resolves them
+identically:
+
+- ``REPRO_TELEMETRY`` ∈ ``{off, summary, jsonl}`` — telemetry mode
+  (:func:`active_telemetry`; the CLI's ``--telemetry`` flag sets it);
+- ``REPRO_SEEDS`` — comma-separated seed override applied by
+  :func:`default_config` (the CLI's ``--seeds`` flag sets it).
 """
 
 from __future__ import annotations
@@ -15,8 +24,9 @@ from repro.matching.relaxed import SolverConfig
 from repro.methods.base import MatchSpec
 from repro.methods.mfcp import MFCPConfig
 from repro.predictors.training import TrainConfig
+from repro.telemetry import MODES
 
-__all__ = ["ExperimentConfig", "active_profile", "default_config"]
+__all__ = ["ExperimentConfig", "active_profile", "active_telemetry", "default_config"]
 
 
 def active_profile() -> str:
@@ -25,6 +35,25 @@ def active_profile() -> str:
     if profile not in ("fast", "full"):
         raise ValueError(f"REPRO_PROFILE must be 'fast' or 'full', got {profile!r}")
     return profile
+
+
+def active_telemetry() -> str:
+    """"off" (default), "summary" or "jsonl", from REPRO_TELEMETRY."""
+    mode = os.environ.get("REPRO_TELEMETRY", "off").lower()
+    if mode not in MODES:
+        raise ValueError(f"REPRO_TELEMETRY must be one of {MODES}, got {mode!r}")
+    return mode
+
+
+def _seed_override() -> "tuple[int, ...] | None":
+    """Seeds from REPRO_SEEDS (e.g. ``"0,1,2"``), or None when unset."""
+    raw = os.environ.get("REPRO_SEEDS", "").strip()
+    if not raw:
+        return None
+    try:
+        return tuple(int(s) for s in raw.split(","))
+    except ValueError as exc:
+        raise ValueError(f"REPRO_SEEDS must be comma-separated ints, got {raw!r}") from exc
 
 
 @dataclass(frozen=True)
@@ -67,6 +96,9 @@ def default_config(profile: str | None = None, **overrides: object) -> Experimen
         )
     else:
         cfg = ExperimentConfig()
+    seeds = _seed_override()
+    if seeds is not None:
+        cfg = replace(cfg, seeds=seeds)
     if overrides:
         cfg = replace(cfg, **overrides)  # type: ignore[arg-type]
     return cfg

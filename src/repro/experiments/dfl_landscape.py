@@ -34,7 +34,8 @@ def run_dfl_landscape(
         return [TSM(train_config=config.supervised), *make_dfl_methods(config.mfcp)]
 
     return run_experiment(
-        lambda: make_setting(SETTING), factory, config, verbose=verbose
+        lambda: make_setting(SETTING), factory, config, verbose=verbose,
+        run_name="dfl_landscape",
     )
 
 

@@ -57,6 +57,7 @@ def run_fig4(
             fig4_methods(config),
             config,
             verbose=verbose,
+            run_name=f"fig4_{setting}",
         )
     return results
 

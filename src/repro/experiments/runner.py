@@ -28,6 +28,7 @@ from repro.metrics.reliability import mean_assigned_reliability
 from repro.metrics.report import MethodReport, MetricSample
 from repro.metrics.utilization import cluster_utilization
 from repro.methods.base import BaseMethod, FitContext
+from repro import telemetry
 from repro.utils.rng import as_generator, spawn
 from repro.workloads.taskpool import Task, TaskPool
 
@@ -76,11 +77,13 @@ def evaluate_round(
     out: dict[str, MetricSample] = {}
     for method in methods:
         X = method.decide(true_problem, list(tasks))
-        out[method.name] = MetricSample(
+        sample = MetricSample(
             regret=(makespan(X, true_problem) - cost_oracle) / n,
             reliability=mean_assigned_reliability(X, A),
             utilization=cluster_utilization(X, true_problem),
         )
+        telemetry.observe(f"eval/regret/{method.name}", sample.regret)
+        out[method.name] = sample
     return out
 
 
@@ -107,18 +110,21 @@ def run_seed(
     train, test = pool.split(config.train_fraction, rng=spawn(rng))
     ctx = FitContext.build(clusters, train, config.spec, rng=spawn(rng))
     methods = method_factory()
-    for method in methods:
-        method.fit(ctx)
+    with telemetry.span("seed"):
+        for method in methods:
+            with telemetry.span(f"fit/{method.name}"):
+                method.fit(ctx)
 
-    n = n_tasks or config.n_tasks
-    eval_rng = spawn(rng)
-    samples: dict[str, list[MetricSample]] = {m.name: [] for m in methods}
-    for _ in range(config.eval_rounds):
-        idx = eval_rng.choice(len(test), size=min(n, len(test)), replace=False)
-        tasks = [test[int(i)] for i in idx]
-        round_samples = evaluate_round(methods, clusters, tasks, config)
-        for name, sample in round_samples.items():
-            samples[name].append(sample)
+        n = n_tasks or config.n_tasks
+        eval_rng = spawn(rng)
+        samples: dict[str, list[MetricSample]] = {m.name: [] for m in methods}
+        with telemetry.span("eval"):
+            for _ in range(config.eval_rounds):
+                idx = eval_rng.choice(len(test), size=min(n, len(test)), replace=False)
+                tasks = [test[int(i)] for i in idx]
+                round_samples = evaluate_round(methods, clusters, tasks, config)
+                for name, sample in round_samples.items():
+                    samples[name].append(sample)
     return SeedResult(seed=seed, samples=samples)
 
 
@@ -129,8 +135,38 @@ def run_experiment(
     *,
     n_tasks: int | None = None,
     verbose: bool = False,
+    telemetry_mode: str | None = None,
+    run_name: str = "experiment",
 ) -> dict[str, MethodReport]:
-    """Aggregate :func:`run_seed` over every configured seed."""
+    """Aggregate :func:`run_seed` over every configured seed.
+
+    ``telemetry_mode`` (default: the REPRO_TELEMETRY environment setting,
+    see :func:`repro.experiments.config.active_telemetry`) opens a
+    run-scoped recorder around the whole experiment — unless one is
+    already active, in which case the caller's recorder is reused so
+    nested experiment invocations land in a single run log.
+    """
+    from repro.experiments.config import active_telemetry
+
+    mode = telemetry_mode if telemetry_mode is not None else active_telemetry()
+    if telemetry.get_recorder().enabled:
+        return _run_experiment_body(
+            cluster_factory, method_factory, config, n_tasks, verbose
+        )
+    meta = telemetry.run_metadata(config=config, seeds=config.seeds)
+    with telemetry.recording(mode=mode, run=run_name, meta=meta):
+        return _run_experiment_body(
+            cluster_factory, method_factory, config, n_tasks, verbose
+        )
+
+
+def _run_experiment_body(
+    cluster_factory: ClusterFactory,
+    method_factory: MethodFactory,
+    config: ExperimentConfig,
+    n_tasks: int | None,
+    verbose: bool,
+) -> dict[str, MethodReport]:
     reports: dict[str, MethodReport] = {}
     for seed in config.seeds:
         result = run_seed(seed, cluster_factory, method_factory, config, n_tasks=n_tasks)

@@ -34,11 +34,15 @@ BETAS = (1.0, 5.0, 20.0)
 LAMBDAS = (0.001, 0.01, 0.1)
 
 
-def _run_with_spec(config: ExperimentConfig) -> dict[str, MethodReport]:
+def _run_with_spec(
+    config: ExperimentConfig, run_name: str = "sensitivity"
+) -> dict[str, MethodReport]:
     def factory():
         return [TSM(train_config=config.supervised), MFCP("analytic", config.mfcp)]
 
-    return run_experiment(lambda: make_setting(SETTING), factory, config)
+    return run_experiment(
+        lambda: make_setting(SETTING), factory, config, run_name=run_name
+    )
 
 
 def run_gamma_sweep(
@@ -47,7 +51,10 @@ def run_gamma_sweep(
 ) -> dict[float, dict[str, MethodReport]]:
     config = config or default_config()
     return {
-        q: _run_with_spec(replace(config, spec=replace(config.spec, gamma_quantile=q)))
+        q: _run_with_spec(
+            replace(config, spec=replace(config.spec, gamma_quantile=q)),
+            run_name=f"sensitivity_gamma{q:g}",
+        )
         for q in quantiles
     }
 
@@ -58,7 +65,10 @@ def run_beta_sweep(
 ) -> dict[float, dict[str, MethodReport]]:
     config = config or default_config()
     return {
-        b: _run_with_spec(replace(config, spec=replace(config.spec, beta=b)))
+        b: _run_with_spec(
+            replace(config, spec=replace(config.spec, beta=b)),
+            run_name=f"sensitivity_beta{b:g}",
+        )
         for b in betas
     }
 
@@ -69,7 +79,10 @@ def run_lambda_sweep(
 ) -> dict[float, dict[str, MethodReport]]:
     config = config or default_config()
     return {
-        lam: _run_with_spec(replace(config, spec=replace(config.spec, lam=lam)))
+        lam: _run_with_spec(
+            replace(config, spec=replace(config.spec, lam=lam)),
+            run_name=f"sensitivity_lambda{lam:g}",
+        )
         for lam in lambdas
     }
 

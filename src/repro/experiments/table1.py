@@ -38,6 +38,7 @@ def run_table1(
         lambda: make_table1_methods(config.mfcp),
         config,
         verbose=verbose,
+        run_name="table1",
     )
 
 

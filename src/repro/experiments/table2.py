@@ -47,7 +47,8 @@ def run_table2(
         ]
 
     return run_experiment(
-        lambda: make_setting(SETTING), factory, config, verbose=verbose
+        lambda: make_setting(SETTING), factory, config, verbose=verbose,
+        run_name="table2",
     )
 
 

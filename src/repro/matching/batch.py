@@ -28,9 +28,12 @@ case falls back to the scalar path automatically.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
+
+from repro.telemetry import ITER_BUCKETS, LEVEL_BUCKETS, SIZE_BUCKETS, get_recorder
 
 __all__ = [
     "BatchProblem",
@@ -320,6 +323,12 @@ def solve_relaxed_batch(
     # Active-set state (compacted copies; `active` maps back to batch slots).
     # loads/slack/logX ride along so the accepted trial's objective pieces
     # are reused for the next iteration's gradient instead of recomputed.
+    # Telemetry: hoisted once per solve (one branch when disabled); the
+    # per-iteration cascade-level bookkeeping below only runs when enabled.
+    rec = get_recorder()
+    tele = rec.enabled
+    ls_time = 0.0
+
     active = np.arange(B)
     Xa, fa = X, out_f.copy()
     Ta, Aa, ga = problem.T, problem.A, problem.gamma
@@ -351,6 +360,8 @@ def solve_relaxed_batch(
         # multiplicative update per instance regardless of barrier stiffness.
         # They also bound |expo| by lr, so no overflow clamp is needed below.
         scale = np.maximum(np.abs(grad).max(axis=(1, 2)), 1e-9)  # (b,)
+        if tele:
+            ls_t0 = time.perf_counter()
         # Two-stage trial cascade.  Stage 1: the first-trial step for
         # every instance — the common accept, evaluated on (b, M, N)
         # only.  Cascade mode always opens at the full step; adaptive
@@ -371,6 +382,9 @@ def solve_relaxed_batch(
         f_new = _val(loads_new, slack_new, ent_new)  # (b,)
         any_ok = f_new <= fa + 1e-12
         lvl = k.copy() if adaptive_trials else None  # accepted level
+        # Cascade-mode accepted-level tracking (telemetry only; adaptive
+        # mode reuses `lvl`).
+        lvl_rec = np.zeros(f_new.size, dtype=np.intp) if tele and lvl is None else None
         if halvings > 1 and not any_ok.all():
             # Stage 2: halve step by step, each round only for the
             # instances still rejecting — the typical rejector accepts the
@@ -415,6 +429,8 @@ def solve_relaxed_batch(
                     if adaptive_trials:
                         lvl[acc] = lvl_r[ok]
                         lvl_r = lvl_r[~ok]
+                    elif lvl_rec is not None:
+                        lvl_rec[acc] = h
                     r = r[~ok]
                 if adaptive_trials:
                     lvl_r = lvl_r + 1
@@ -427,6 +443,14 @@ def solve_relaxed_batch(
                 slack_new[rem] = slack_a[rem]
                 if entropy:
                     log_new[rem] = log_a[rem]
+        if tele:
+            ls_time += time.perf_counter() - ls_t0
+            acc_lvls = (lvl if adaptive_trials else lvl_rec)[any_ok]
+            if acc_lvls.size:
+                for h_lvl, cnt in enumerate(np.bincount(acc_lvls)):
+                    if cnt:
+                        rec.observe("batch_solve/cascade_level", h_lvl,
+                                    n=int(cnt), bounds=LEVEL_BUCKETS)
         if adaptive_trials:
             # Step memory with decrease-on-accept: retry one level larger
             # next iteration so the step size can grow back.
@@ -464,6 +488,13 @@ def solve_relaxed_batch(
     if active.size:
         out_X[active] = Xa
         out_f[active] = fa
+    if tele:
+        rec.counter_add("batch_solve/calls")
+        rec.counter_add("batch_solve/instances", B)
+        rec.observe("batch_solve/batch_size", B, bounds=SIZE_BUCKETS)
+        rec.observe("batch_solve/iterations", max_it_used, bounds=ITER_BUCKETS)
+        rec.counter_add("batch_solve/frozen_instances", float(converged.sum()))
+        rec.counter_add("batch_solve/line_search_s", ls_time)
     return BatchSolution(
         X=out_X, objective=out_f, iterations=max_it_used, converged=converged
     )

@@ -22,6 +22,7 @@ feasible, mirroring interior-point practice.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,6 +30,7 @@ import numpy as np
 from repro.matching.objectives import barrier_gradient, barrier_value
 from repro.matching.problem import MatchingProblem
 from repro.nn.functional import softmax_np
+from repro.telemetry import ITER_BUCKETS, TIME_BUCKETS_S, get_recorder
 
 __all__ = ["SolverConfig", "RelaxedSolution", "solve_relaxed", "project_simplex_columns"]
 
@@ -126,6 +128,21 @@ def solve_relaxed(
     best_X, best_f = X, f_cur
     stall = 0
     it = 0
+
+    # Telemetry: the recorder is hoisted once per solve so the disabled
+    # mode pays a single branch, not one lookup per iteration.
+    rec = get_recorder()
+    tele = rec.enabled
+    ls_time = 0.0
+
+    def _emit(sol: RelaxedSolution) -> RelaxedSolution:
+        if tele:
+            rec.counter_add("solve/calls")
+            rec.observe("solve/iterations", sol.iterations, bounds=ITER_BUCKETS)
+            rec.observe("solve/line_search_s", ls_time, bounds=TIME_BUCKETS_S)
+            if not sol.converged:
+                rec.counter_add("solve/nonconverged")
+        return sol
     # The paper-literal "softmax" rule is not a descent method (softmax of a
     # near-uniform matrix contracts to the barycenter), so it runs in
     # non-monotone mode tracking the best iterate, exactly like Algorithm 1.
@@ -136,6 +153,8 @@ def solve_relaxed(
         if cfg.normalize_steps and cfg.projection == "mirror":
             step = cfg.lr / max(float(np.abs(grad).max()), 1e-9)
         accepted = False
+        if tele:
+            ls_t0 = time.perf_counter()
         for _ in range(cfg.backtrack):
             if cfg.projection == "mirror":
                 # Multiplicative-weights update; clip the exponent for safety.
@@ -148,11 +167,13 @@ def solve_relaxed(
                 accepted = True
                 break
             step *= 0.5
+        if tele:
+            ls_time += time.perf_counter() - ls_t0
         if not accepted:
             history = history[: it + 1]
             history[it] = best_f
-            return RelaxedSolution(X=best_X, objective=best_f, iterations=it,
-                                   converged=True, history=history.copy())
+            return _emit(RelaxedSolution(X=best_X, objective=best_f, iterations=it,
+                                         converged=True, history=history.copy()))
         improvement = f_cur - f_new
         X, f_cur = X_new, f_new
         if f_cur < best_f:
@@ -162,11 +183,11 @@ def solve_relaxed(
             stall += 1
             if stall >= cfg.patience:
                 history = history[: it + 1]
-                return RelaxedSolution(X=best_X, objective=best_f, iterations=it,
-                                       converged=True, history=history.copy())
+                return _emit(RelaxedSolution(X=best_X, objective=best_f, iterations=it,
+                                             converged=True, history=history.copy()))
         else:
             stall = 0
-    return RelaxedSolution(
+    return _emit(RelaxedSolution(
         X=best_X, objective=best_f, iterations=it, converged=False,
         history=history[: it + 1].copy()
-    )
+    ))

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.matching.objectives import decision_cost, reliability_value
 from repro.matching.problem import MatchingProblem
+from repro.telemetry import get_recorder
 
 __all__ = ["round_assignment", "assignment_from_labels", "labels_from_assignment"]
 
@@ -57,6 +58,12 @@ def round_assignment(
         Xb = _repair_reliability(Xb, problem, max_moves)
     if local_search:
         Xb = _local_search(Xb, problem, max_moves)
+    rec = get_recorder()
+    if rec.enabled:
+        # Integrality gap of this round: rounded-vs-relaxed decision cost.
+        rec.counter_add("rounding/calls")
+        rec.observe("rounding/gap",
+                    decision_cost(Xb, problem) - decision_cost(X, problem))
     return Xb
 
 

@@ -31,6 +31,7 @@ from repro.matching.batch import (
 )
 from repro.matching.problem import MatchingProblem
 from repro.matching.relaxed import RelaxedSolution, SolverConfig, solve_relaxed
+from repro.telemetry import SIZE_BUCKETS, VARIANCE_BUCKETS, get_recorder
 from repro.utils.rng import as_generator
 
 __all__ = [
@@ -147,6 +148,10 @@ def zo_vjp(
     dt = np.zeros(N)
     da = np.zeros(N)
     solves = 0
+    rec = get_recorder()
+    tele = rec.enabled
+    diffs_t: list[float] = []
+    diffs_a: list[float] = []
 
     # Draw directions; antithetic pairs share one |v| draw.
     n_draws = cfg.samples // 2 if cfg.antithetic else cfg.samples
@@ -166,6 +171,8 @@ def zo_vjp(
             solves += 1
             diff_t = (float(sol_t.X.ravel() @ g_flat) - base_contract) / (sign * cfg.delta)
             dt += diff_t * v_t
+            if tele:
+                diffs_t.append(diff_t)
 
             # Perturb the reliability predictions (line 7, A branch).
             A_pert = A_hat.copy()
@@ -176,11 +183,33 @@ def zo_vjp(
                 solves += 1
                 diff_a = (float(sol_a.X.ravel() @ g_flat) - base_contract) / (sign * cfg.delta)
                 da += diff_a * v_a
+                if tele:
+                    diffs_a.append(diff_a)
             # else: the perturbation made the warm start infeasible — skip
             # the sample (contributes zero), keeping the estimator defined.
 
     total = n_draws * len(signs)
+    if tele:
+        _record_estimate(rec, solves, total,
+                         np.asarray(diffs_t), np.asarray(diffs_a))
     return ZeroOrderGradients(dt=dt / total, da=da / total, solves=solves)
+
+
+def _record_estimate(
+    rec, solves: int, batch: int, diffs_t: np.ndarray, diffs_a: np.ndarray,
+    n_estimates: int = 1,
+) -> None:
+    """Telemetry of a zeroth-order estimate: inner-solve counts, the
+    perturbation batch size dispatched, and the sample variance of the
+    directional differences (the quantity Theorem 3's Δ* balances against
+    the smoothing bias — high values flag noisy gradients)."""
+    rec.counter_add("zo/estimates", n_estimates)
+    rec.counter_add("zo/solves", solves)
+    rec.observe("zo/perturbation_batch", batch, bounds=SIZE_BUCKETS)
+    if diffs_t.size > 1:
+        rec.observe("zo/sample_var_t", float(diffs_t.var()), bounds=VARIANCE_BUCKETS)
+    if diffs_a.size > 1:
+        rec.observe("zo/sample_var_a", float(diffs_a.var()), bounds=VARIANCE_BUCKETS)
 
 
 def _zo_vjp_batched(
@@ -246,6 +275,9 @@ def _zo_vjp_batched(
     dt = np.einsum("dg,dn->n", diffs[:, :, 0], v_t)
     da = np.einsum("dg,dn->n", diffs[:, :, 1], v_a)
     total = n_draws * G
+    rec = get_recorder()
+    if rec.enabled:
+        _record_estimate(rec, B, B, diffs[:, :, 0].ravel(), diffs[:, :, 1].ravel())
     return ZeroOrderGradients(dt=dt / total, da=da / total, solves=B)
 
 
@@ -363,4 +395,16 @@ def zo_vjp_cross(
     total = n_draws * G
     dt = np.einsum("kdg,kdn->kn", diffs[:, :, :, 0], v_t) / total
     da = np.einsum("kdg,kdn->kn", diffs[:, :, :, 1], v_a) / total
+    rec = get_recorder()
+    if rec.enabled:
+        # One fused dispatch covers K estimates; per-instance variances
+        # keep the histogram comparable with the scalar estimator's.
+        rec.counter_add("zo/estimates", K)
+        rec.counter_add("zo/solves", B)
+        rec.observe("zo/perturbation_batch", B, bounds=SIZE_BUCKETS)
+        var_t = diffs[..., 0].reshape(K, -1).var(axis=1)
+        var_a = diffs[..., 1].reshape(K, -1).var(axis=1)
+        for k_i in range(K):
+            rec.observe("zo/sample_var_t", float(var_t[k_i]), bounds=VARIANCE_BUCKETS)
+            rec.observe("zo/sample_var_a", float(var_a[k_i]), bounds=VARIANCE_BUCKETS)
     return CrossZeroOrderGradients(dt=dt, da=da, solves=B)

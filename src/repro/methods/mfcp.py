@@ -35,10 +35,12 @@ updates.  Non-convex ζ objectives (and the Table 1 ablation knobs) fall
 back to the scalar path automatically; see DESIGN.md "Batched training
 path" for the exact semantics deltas.
 
-Per-phase wall-clock totals are accumulated in :attr:`MFCP.timings`
-(keys: ``pretrain`` / ``solve`` / ``vjp`` / ``optimizer`` /
-``validation``) so speedups are measured, not asserted —
-``benchmarks/bench_micro.py`` reports them.
+Per-phase wall-clock totals are recorded as telemetry spans
+(``train/pretrain`` / ``train/solve`` / ``train/vjp`` /
+``train/optimizer`` / ``train/validation``; see :mod:`repro.telemetry`)
+so speedups are measured, not asserted — ``benchmarks/bench_micro.py``
+reports them.  :attr:`MFCP.timings` remains available as a derived
+per-phase view of the last fit for backward compatibility.
 """
 
 from __future__ import annotations
@@ -63,6 +65,7 @@ from repro.matching.relaxed import SolverConfig, solve_relaxed
 from repro.matching.zeroth_order import ZeroOrderConfig, zo_vjp, zo_vjp_cross
 from repro.methods.base import BaseMethod, FitContext, MatchSpec
 from repro.nn import Adam, clip_grad_norm
+from repro import telemetry
 from repro.predictors.models import PredictorPair
 from repro.predictors.training import TrainConfig, train_reliability, train_time_mse
 from repro.utils.rng import spawn
@@ -139,19 +142,30 @@ class MFCP(BaseMethod):
         self.hidden = hidden
         self._pairs: list[PredictorPair] = []
         self.loss_history: list[float] = []
-        #: Per-phase wall-clock seconds of the last fit (pretrain / solve /
-        #: vjp / optimizer / validation), reset at every fit.
-        self.timings: dict[str, float] = {}
+        self._phase_totals: dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
 
+    @property
+    def timings(self) -> dict[str, float]:
+        """Per-phase wall-clock seconds of the last fit (pretrain / solve /
+        vjp / optimizer / validation) — a derived view of the ``train/*``
+        telemetry spans, kept so PR 1's benchmark code works unchanged."""
+        return dict(self._phase_totals)
+
     @contextmanager
     def _phase(self, key: str):
+        """One training phase: opens the ``train/<key>`` telemetry span and
+        mirrors its wall clock into the :attr:`timings` compat view (which
+        must keep accumulating even when telemetry is off)."""
         t0 = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.timings[key] = self.timings.get(key, 0.0) + time.perf_counter() - t0
+        with telemetry.span(f"train/{key}"):
+            try:
+                yield
+            finally:
+                self._phase_totals[key] = (
+                    self._phase_totals.get(key, 0.0) + time.perf_counter() - t0
+                )
 
     def _can_batch(self, spec: MatchSpec) -> bool:
         """Whether the fused batched round matches the scalar semantics:
@@ -173,7 +187,7 @@ class MFCP(BaseMethod):
                 "use MFCP-FG for parallel execution (paper §4.5)"
             )
         cfg = self.config
-        self.timings = {}
+        self._phase_totals = {}
         # 1. Warm start with MSE pretraining.
         self._pairs = []
         with self._phase("pretrain"):
@@ -210,6 +224,12 @@ class MFCP(BaseMethod):
         best_state = self._snapshot() if val_rounds else None
 
         batched = self._can_batch(ctx.spec)
+        if cfg.batched and not batched:
+            telemetry.event(
+                "train/scalar_fallback", method=self.name,
+                reason="spec not batchable (cost/penalty/projection)",
+            )
+        fallback_warned = False
         self.loss_history = []
         for epoch in range(cfg.epochs):
             idx = ctx.rng.choice(n_train, size=round_size, replace=False)
@@ -221,6 +241,17 @@ class MFCP(BaseMethod):
                 continue  # degenerate round (γ unattainable); resample next epoch
             update_time = (not cfg.alternate) or (epoch % 2 == 0)
             update_rel = (not cfg.alternate) or (epoch % 2 == 1)
+            if batched and true_problem.is_parallel:
+                # The batch solver only covers the convex sequential
+                # barrier; ζ rounds silently ran the scalar path before —
+                # now the fallback is a first-class, queryable event.
+                telemetry.counter_add("train/scalar_fallback_rounds")
+                if not fallback_warned:
+                    fallback_warned = True
+                    telemetry.event(
+                        "train/scalar_fallback", method=self.name,
+                        reason="non-convex (zeta) round",
+                    )
             round_fn = (
                 self._train_round_batched
                 if batched and not true_problem.is_parallel
@@ -230,6 +261,7 @@ class MFCP(BaseMethod):
                 ctx, Z, true_problem, opt_time, opt_rel, update_time, update_rel
             )
             self.loss_history.append(epoch_loss)
+            telemetry.observe("train/epoch_regret_proxy", epoch_loss)
             if val_rounds and (epoch + 1) % cfg.validate_every == 0:
                 score = self._validation_score(ctx, val_rounds)
                 if score < best_score:  # type: ignore[operator]

@@ -30,6 +30,7 @@ from repro.matching.rounding import labels_from_assignment
 from repro.matching.speedup import IdentitySpeedup, SpeedupFunction
 from repro.sim.events import Simulator
 from repro.sim.trace import SimulationResult, TaskOutcome, TaskRecord
+from repro.telemetry import SIZE_BUCKETS, TIME_BUCKETS_S, get_recorder, span
 from repro.utils.rng import as_generator
 from repro.workloads.taskpool import Task
 
@@ -83,12 +84,18 @@ def simulate_matching(
     for j, lbl in enumerate(labels):
         per_cluster[clusters[int(lbl)].cluster_id].append(j)
 
-    if cfg.mode == "sequential":
-        _run_sequential(sim, clusters, tasks, per_cluster, cfg, rng, result)
-    else:
-        _run_parallel(sim, clusters, tasks, per_cluster, cfg, rng, result)
-    end = sim.run()
+    with span("sim/run"):
+        if cfg.mode == "sequential":
+            _run_sequential(sim, clusters, tasks, per_cluster, cfg, rng, result)
+        else:
+            _run_parallel(sim, clusters, tasks, per_cluster, cfg, rng, result)
+        end = sim.run()
     result.makespan = max(end, max(result.cluster_busy.values(), default=0.0))
+    rec = get_recorder()
+    if rec.enabled:
+        rec.counter_add("sim/rounds")
+        rec.counter_add("sim/tasks", len(tasks))
+        rec.observe("sim/makespan", result.makespan, bounds=TIME_BUCKETS_S)
     return result
 
 
@@ -122,6 +129,9 @@ def _run_sequential(
     rng: np.random.Generator,
     result: SimulationResult,
 ) -> None:
+    rec = get_recorder()
+    tele = rec.enabled
+
     def make_worker(cluster: Cluster, queue: list[int]):
         """Build the FIFO worker chain for one cluster (factory avoids the
         classic late-binding-in-a-loop closure bug)."""
@@ -135,21 +145,31 @@ def _run_sequential(
             attempts[j] = attempts.get(j, 0) + 1
             duration = _duration(cluster, task, cfg, rng)
             outcome, frac = _draw_outcome(cluster, task, cfg, rng)
-            span = duration * frac
+            task_span = duration * frac
             start_time = s.now
+            if tele:
+                # Per-event state: depth of the cluster's remaining queue
+                # and how long this task waited for the cluster (t=0 is
+                # the assignment instant, so the wait IS the start time).
+                rec.observe("sim/queue_depth", len(queue), bounds=SIZE_BUCKETS)
+                rec.observe("sim/task_wait", start_time, bounds=TIME_BUCKETS_S)
 
             def finish(s2: Simulator) -> None:
-                result.cluster_busy[cluster.cluster_id] += span
+                result.cluster_busy[cluster.cluster_id] += task_span
                 if outcome is TaskOutcome.FAILED and attempts[j] <= cfg.max_retries:
                     queue.append(j)  # re-queue at the back
+                    if tele:
+                        rec.counter_add("sim/retries")
                 else:
                     result.records.append(
                         TaskRecord(task.task_id, cluster.cluster_id,
                                    start_time, s2.now, outcome, attempts[j])
                     )
+                    if tele and outcome is TaskOutcome.FAILED:
+                        rec.counter_add("sim/failures")
                 start_next(s2)
 
-            s.schedule(span, finish)
+            s.schedule(task_span, finish)
 
         return start_next
 
@@ -172,6 +192,8 @@ def _run_parallel(
     result: SimulationResult,
 ) -> None:
     zeta: SpeedupFunction = cfg.speedup or IdentitySpeedup()
+    rec = get_recorder()
+    tele = rec.enabled
     for cluster in clusters:
         assigned = per_cluster[cluster.cluster_id]
         result.cluster_busy[cluster.cluster_id] = 0.0
@@ -181,6 +203,9 @@ def _run_parallel(
         k = len(assigned)
         window = float(zeta.value(np.array(float(k)))) * sum(durations.values())
         result.cluster_busy[cluster.cluster_id] = window
+        if tele:
+            rec.observe("sim/queue_depth", k, bounds=SIZE_BUCKETS)
+            rec.observe("sim/batch_window", window, bounds=TIME_BUCKETS_S)
 
         def finish_batch(s: Simulator, cluster=cluster, assigned=assigned,
                          window=window) -> None:

@@ -29,6 +29,7 @@ import numpy as np
 from repro.clusters.cluster import Cluster
 from repro.matching.rounding import labels_from_assignment
 from repro.methods.base import BaseMethod, MatchSpec
+from repro.telemetry import SIZE_BUCKETS, TIME_BUCKETS_S, get_recorder, span
 from repro.utils.rng import as_generator
 from repro.workloads.taskpool import Task, TaskPool
 
@@ -164,10 +165,19 @@ def simulate_online(
             continue
         stats.windows += 1
         tasks = [task for _, task in batch]
+        rec = get_recorder()
+        if rec.enabled:
+            rec.observe("online/queue_depth", len(batch), bounds=SIZE_BUCKETS)
         T = np.stack([c.true_times(tasks) for c in clusters])
         A = np.stack([c.true_reliabilities(tasks) for c in clusters])
         problem = spec.build_problem(T, A)
-        X = method.decide(problem, tasks)
+        # Assignment latency: the platform-side matching decision for the
+        # window (span aggregate gives total/mean decide wall clock).
+        with span("online/decide") as decide_span:
+            X = method.decide(problem, tasks)
+        if rec.enabled:
+            rec.observe("online/assignment_latency_s", decide_span.elapsed,
+                        bounds=TIME_BUCKETS_S)
         labels = labels_from_assignment(X)
 
         # Execute sequentially per cluster from each cluster's free time.
@@ -182,16 +192,25 @@ def simulate_online(
             success = (not cfg.failures) or (
                 rng.random() < cluster.true_reliability(task)
             )
-            span = duration if success else duration * float(rng.uniform(0.05, 0.95))
-            end = start + span
+            busy = duration if success else duration * float(rng.uniform(0.05, 0.95))
+            end = start + busy
             free_at[cluster.cluster_id] = end
-            stats.cluster_busy[cluster.cluster_id] += span
+            stats.cluster_busy[cluster.cluster_id] += busy
             stats.total_wait_hours += start - arrival
             stats.total_flow_hours += end - arrival
+            if rec.enabled:
+                rec.observe("online/task_wait_h", start - arrival,
+                            bounds=TIME_BUCKETS_S)
             if success:
                 stats.jobs_completed += 1
             else:
                 stats.jobs_failed += 1
 
     stats.final_time = max(list(free_at.values()) + [cfg.horizon_hours])
+    rec = get_recorder()
+    if rec.enabled:
+        rec.counter_add("online/windows", stats.windows)
+        rec.counter_add("online/jobs_arrived", stats.jobs_arrived)
+        rec.counter_add("online/jobs_completed", stats.jobs_completed)
+        rec.counter_add("online/jobs_failed", stats.jobs_failed)
     return stats

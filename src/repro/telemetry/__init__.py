@@ -1,0 +1,83 @@
+"""repro.telemetry — dependency-free instrumentation for the whole stack.
+
+Three primitives (see DESIGN.md §8):
+
+- **spans** — hierarchical, contextvar-nested wall-clock sections
+  (``with telemetry.span("train/solve"): ...``);
+- **metric instruments** — counters, gauges and fixed-bucket histograms
+  for cheap distribution capture (solver iterations, cascade levels,
+  estimator variance, queue depths);
+- **recorder** — a run-scoped sink that aggregates everything, renders an
+  end-of-run console summary and (mode ``"jsonl"``) writes a versioned,
+  diffable JSONL run log under ``results/telemetry/``.
+
+Instrumented library code calls the module-level helpers unconditionally;
+when no recorder is active they dispatch to the shared no-op recorder at
+the cost of a single branch, so the disabled mode is effectively free
+(gated at <2% of a training epoch by ``benchmarks/bench_micro.py``).
+
+>>> from repro import telemetry
+>>> with telemetry.recording(mode="summary") as rec:
+...     with telemetry.span("demo"):
+...         telemetry.observe("demo/value", 3.0)
+"""
+
+from repro.telemetry.jsonl import aggregate_events, load_run, meta_of
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    ITER_BUCKETS,
+    LEVEL_BUCKETS,
+    SIZE_BUCKETS,
+    TIME_BUCKETS_S,
+    VARIANCE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+)
+from repro.telemetry.recorder import (
+    MODES,
+    NULL,
+    SCHEMA_VERSION,
+    NullRecorder,
+    Recorder,
+    counter_add,
+    event,
+    gauge_set,
+    get_recorder,
+    observe,
+    recording,
+    run_metadata,
+    span,
+)
+from repro.telemetry.spans import NULL_SPAN, Span, current_path
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "MODES",
+    "Recorder",
+    "NullRecorder",
+    "NULL",
+    "get_recorder",
+    "recording",
+    "span",
+    "counter_add",
+    "gauge_set",
+    "observe",
+    "event",
+    "run_metadata",
+    "Span",
+    "NULL_SPAN",
+    "current_path",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "ITER_BUCKETS",
+    "LEVEL_BUCKETS",
+    "SIZE_BUCKETS",
+    "TIME_BUCKETS_S",
+    "VARIANCE_BUCKETS",
+    "load_run",
+    "aggregate_events",
+    "meta_of",
+]

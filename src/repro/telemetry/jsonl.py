@@ -1,0 +1,75 @@
+"""Parse and aggregate JSONL run logs written by the :class:`Recorder`.
+
+The round-trip contract (asserted in ``tests/test_telemetry.py``): for any
+run, ``aggregate_events(load_run(path))`` reconstructs exactly the
+aggregate the recorder rendered into its console summary — spans rebuilt
+from the individual span events, metrics taken from the flushed state
+lines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.recorder import SCHEMA_VERSION
+
+__all__ = ["load_run", "aggregate_events", "meta_of"]
+
+
+def load_run(path: str | Path) -> list[dict]:
+    """All events of one run log, in file order; validates the header."""
+    events: list[dict] = []
+    with open(path) as fh:
+        for lineno, raw in enumerate(fh):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                events.append(json.loads(raw))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno + 1}: invalid JSON line") from exc
+    if not events or events[0].get("type") != "meta":
+        raise ValueError(f"{path}: missing meta header line")
+    schema = events[0].get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(f"{path}: unsupported schema {schema!r} "
+                         f"(expected {SCHEMA_VERSION})")
+    return events
+
+
+def meta_of(events: list[dict]) -> dict:
+    """The run-metadata header of a loaded event list."""
+    return events[0]
+
+
+def aggregate_events(events: list[dict]) -> dict:
+    """Rebuild the recorder's canonical aggregate from raw events.
+
+    Spans are re-accumulated from the per-call ``span`` events; counters,
+    gauges and histograms come from their flushed ``metric`` lines.
+    """
+    spans: dict[str, dict] = {}
+    counters: dict[str, dict] = {}
+    gauges: dict[str, dict] = {}
+    hists: dict[str, dict] = {}
+    for ev in events:
+        kind = ev.get("type")
+        if kind == "span":
+            agg = spans.setdefault(ev["path"], {"total_s": 0.0, "calls": 0, "errors": 0})
+            agg["total_s"] += ev["dur_s"]
+            agg["calls"] += 1
+            if not ev.get("ok", True):
+                agg["errors"] += 1
+        elif kind == "metric":
+            state = {k: v for k, v in ev.items()
+                     if k not in ("type", "kind", "name", "seq")}
+            {"counter": counters, "gauge": gauges, "histogram": hists}[ev["kind"]][
+                ev["name"]
+            ] = state
+    return {
+        "spans": dict(sorted(spans.items())),
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(hists.items())),
+    }

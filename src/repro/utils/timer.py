@@ -1,22 +1,50 @@
-"""Lightweight wall-clock timing helpers for the benchmark harnesses."""
+"""Lightweight wall-clock timing helpers for the benchmark harnesses.
+
+.. deprecated::
+    These helpers predate :mod:`repro.telemetry` and are now thin shims
+    over its span primitive.  New code should use
+    :func:`repro.telemetry.span` (optionally with an active
+    :class:`repro.telemetry.Recorder`), which adds hierarchical paths,
+    error tracking, and JSONL run logs for free.  ``Timer``/``timed``
+    stay importable for the existing benchmarks but emit a
+    ``DeprecationWarning`` on use.
+"""
 
 from __future__ import annotations
 
-import time
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.telemetry import span as _tele_span
+
 __all__ = ["Timer", "timed"]
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.utils.timer.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
 class Timer:
     """Accumulating timer: tracks total elapsed seconds over many sections.
 
+    Deprecated shim over :func:`repro.telemetry.span`: each section opens a
+    telemetry span named ``timer/<name>`` (recorded when a recorder is
+    active) and accumulates locally so ``total``/``mean``/``report`` keep
+    working with telemetry off.
+
+    >>> import warnings
     >>> t = Timer()
-    >>> with t.section("solve"):
-    ...     pass
+    >>> with warnings.catch_warnings():
+    ...     warnings.simplefilter("ignore", DeprecationWarning)
+    ...     with t.section("solve"):
+    ...         pass
     >>> t.total("solve") >= 0.0
     True
     """
@@ -26,13 +54,19 @@ class Timer:
 
     @contextmanager
     def section(self, name: str) -> Iterator[None]:
+        _deprecated("Timer.section", "repro.telemetry.span")
+        import time
+
+        # Time locally (the no-op span does not measure) and let the span
+        # record the same section when a recorder is active.
         start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.totals[name] = self.totals.get(name, 0.0) + elapsed
-            self.counts[name] = self.counts.get(name, 0) + 1
+        with _tele_span(f"timer/{name}"):
+            try:
+                yield
+            finally:
+                elapsed = time.perf_counter() - start
+                self.totals[name] = self.totals.get(name, 0.0) + elapsed
+                self.counts[name] = self.counts.get(name, 0) + 1
 
     def total(self, name: str) -> float:
         return self.totals.get(name, 0.0)
@@ -59,10 +93,16 @@ def timed() -> Iterator[list[float]]:
         with timed() as t:
             work()
         print(t[0])
+
+    Deprecated shim: opens a ``timer/timed`` telemetry span under the hood.
     """
+    _deprecated("timed", "repro.telemetry.span")
+    import time
+
     out = [0.0]
     start = time.perf_counter()
-    try:
-        yield out
-    finally:
-        out[0] = time.perf_counter() - start
+    with _tele_span("timer/timed"):
+        try:
+            yield out
+        finally:
+            out[0] = time.perf_counter() - start

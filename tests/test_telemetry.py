@@ -1,0 +1,343 @@
+"""Tests for the telemetry layer (spans, metrics, recorder, JSONL logs)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.matching import MatchingProblem, SolverConfig, feasible_gamma, solve_relaxed
+from repro.telemetry import (
+    ITER_BUCKETS,
+    MODES,
+    NULL,
+    NULL_SPAN,
+    Counter,
+    Gauge,
+    Histogram,
+    Recorder,
+    aggregate_events,
+    current_path,
+    get_recorder,
+    load_run,
+    meta_of,
+    recording,
+    run_metadata,
+)
+from repro import telemetry
+
+
+# --------------------------------------------------------------------- #
+# Spans.
+# --------------------------------------------------------------------- #
+
+
+class TestSpans:
+    def test_nesting_builds_paths(self):
+        rec = Recorder("summary", run="t")
+        with rec.activate():
+            assert current_path() == ""
+            with rec.span("train"):
+                assert current_path() == "train"
+                with rec.span("epoch"):
+                    assert current_path() == "train/epoch"
+                    with rec.span("solve"):
+                        assert current_path() == "train/epoch/solve"
+                assert current_path() == "train"
+            assert current_path() == ""
+        agg = rec.aggregate()["spans"]
+        assert set(agg) == {"train", "train/epoch", "train/epoch/solve"}
+        assert agg["train/epoch/solve"]["calls"] == 1
+
+    def test_exception_safety(self):
+        rec = Recorder("summary", run="t")
+        with rec.activate():
+            with pytest.raises(RuntimeError, match="boom"):
+                with rec.span("outer"):
+                    with rec.span("inner"):
+                        raise RuntimeError("boom")
+            # the path contextvar is restored even through the raise
+            assert current_path() == ""
+        agg = rec.aggregate()["spans"]
+        assert agg["outer"]["errors"] == 1
+        assert agg["outer/inner"]["errors"] == 1
+
+    def test_span_records_elapsed_and_ok(self):
+        rec = Recorder("summary", run="t")
+        with rec.activate():
+            with rec.span("s") as s:
+                pass
+        assert s.ok and s.elapsed >= 0.0 and s.path == "s"
+
+    def test_invalid_span_names_rejected(self):
+        rec = Recorder("summary", run="t")
+        for bad in ("", "/lead", "trail/"):
+            with pytest.raises(ValueError):
+                rec.span(bad)
+
+    def test_module_level_span_without_recorder_is_null(self):
+        assert telemetry.span("anything") is NULL_SPAN
+        with telemetry.span("x") as s:
+            assert current_path() == ""  # no contextvar writes
+        assert s.elapsed == 0.0
+
+
+# --------------------------------------------------------------------- #
+# Metric instruments.
+# --------------------------------------------------------------------- #
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        c = Counter("n")
+        c.add()
+        c.add(2.5)
+        assert c.value == 3.5 and c.calls == 2
+        with pytest.raises(ValueError):
+            c.add(-1)
+
+    def test_gauge_last_value(self):
+        g = Gauge("g")
+        g.set(1.0)
+        g.set(-4)
+        assert g.value == -4.0 and g.calls == 2
+
+    def test_histogram_le_boundary_semantics(self):
+        h = Histogram("h", bounds=(1.0, 5.0, 10.0))
+        # Prometheus le semantics: v == boundary lands in that bucket.
+        h.observe(1.0)
+        h.observe(5.0)
+        h.observe(0.0)
+        assert h.counts == [2, 1, 0, 0]
+        h.observe(10.0)
+        h.observe(10.000001)  # overflow bucket
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.vmin == 0.0 and h.vmax == pytest.approx(10.000001)
+
+    def test_histogram_bulk_observe(self):
+        h = Histogram("h", bounds=(2.0, 4.0))
+        h.observe(3.0, n=7)
+        h.observe(3.0, n=0)  # no-op
+        h.observe(3.0, n=-2)  # no-op
+        assert h.counts == [0, 7, 0]
+        assert h.count == 7 and h.total == pytest.approx(21.0)
+        assert h.mean == pytest.approx(3.0)
+        assert h.calls == 1
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+
+    def test_recorder_keeps_first_bounds(self):
+        rec = Recorder("summary", run="t")
+        rec.observe("x", 1.0, bounds=(1.0, 2.0))
+        rec.observe("x", 100.0, bounds=(50.0,))  # later bounds ignored
+        assert rec.aggregate()["histograms"]["x"]["bounds"] == [1.0, 2.0]
+
+
+# --------------------------------------------------------------------- #
+# Recorder lifecycle and off mode.
+# --------------------------------------------------------------------- #
+
+
+class TestRecorder:
+    def test_mode_and_run_validation(self):
+        assert MODES == ("off", "summary", "jsonl")
+        with pytest.raises(ValueError):
+            Recorder("verbose", run="t")
+        with pytest.raises(ValueError):
+            Recorder("summary", run="a/b")
+
+    def test_off_mode_records_nothing(self, tmp_path, capsys):
+        with recording(mode="off", run="t", out_dir=tmp_path) as rec:
+            assert rec is NULL
+            assert get_recorder() is NULL
+            telemetry.counter_add("c")
+            telemetry.gauge_set("g", 1.0)
+            telemetry.observe("h", 1.0)
+            telemetry.event("e")
+            with telemetry.span("s"):
+                pass
+        assert NULL.events_recorded == 0
+        assert list(tmp_path.iterdir()) == []
+        assert capsys.readouterr().out == ""
+
+    def test_activation_is_scoped(self):
+        rec = Recorder("summary", run="t")
+        assert get_recorder() is NULL
+        with rec.activate():
+            assert get_recorder() is rec
+        assert get_recorder() is NULL
+
+    def test_summary_mode_writes_no_file(self, tmp_path):
+        import io
+
+        sink = io.StringIO()
+        with recording(mode="summary", run="t", out_dir=tmp_path, stream=sink):
+            telemetry.counter_add("c")
+        assert list(tmp_path.iterdir()) == []
+        assert "telemetry summary" in sink.getvalue()
+
+    def test_close_idempotent(self, tmp_path):
+        import io
+
+        rec = Recorder("jsonl", run="t", out_dir=tmp_path, stream=io.StringIO())
+        rec.counter_add("c")
+        p1 = rec.close()
+        p2 = rec.close()
+        assert p1 == p2 and p1.exists()
+        # the second close must not duplicate flushed metric lines
+        kinds = [e["type"] for e in load_run(p1)]
+        assert kinds.count("metric") == 1
+
+    def test_summary_table_renders(self):
+        rec = Recorder("summary", run="t")
+        with rec.activate():
+            with rec.span("fit"):
+                pass
+        rec.counter_add("solve/calls", 3)
+        rec.gauge_set("lr", 0.1)
+        rec.observe("iters", 12.0, bounds=ITER_BUCKETS)
+        out = rec.summary_table()
+        for needle in ("fit", "solve/calls", "lr", "iters"):
+            assert needle in out
+
+
+# --------------------------------------------------------------------- #
+# JSONL round trip.
+# --------------------------------------------------------------------- #
+
+
+def _record_workload(rec: Recorder) -> None:
+    with rec.activate():
+        with rec.span("train"):
+            for k in range(3):
+                with rec.span("epoch"):
+                    rec.counter_add("solve/calls")
+                    rec.observe("solve/iterations", 5.0 + k, bounds=ITER_BUCKETS)
+        rec.gauge_set("final_loss", 0.25)
+        rec.event("milestone", label="done")
+
+
+class TestJsonlRoundTrip:
+    def test_aggregate_round_trip(self, tmp_path):
+        import io
+
+        rec = Recorder("jsonl", run="rt", out_dir=tmp_path, stream=io.StringIO())
+        _record_workload(rec)
+        path = rec.close()
+        events = load_run(path)
+        assert aggregate_events(events) == rec.aggregate()
+
+    def test_meta_header_first_with_schema(self, tmp_path):
+        import io
+
+        meta = run_metadata(config="cfg", seeds=(0, 1), note="x")
+        rec = Recorder("jsonl", run="rt", out_dir=tmp_path, meta=meta,
+                       stream=io.StringIO())
+        _record_workload(rec)
+        events = load_run(rec.close())
+        head = meta_of(events)
+        assert head["type"] == "meta" and head["schema"] == 1
+        assert head["run"] == "rt"
+        assert head["seeds"] == [0, 1]
+        assert head["note"] == "x"
+        assert isinstance(head["git_sha"], str) and head["git_sha"]
+
+    def test_rejects_bad_logs(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text("not json\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_run(p)
+        p.write_text('{"type": "span"}\n')
+        with pytest.raises(ValueError, match="meta header"):
+            load_run(p)
+        p.write_text('{"type": "meta", "schema": 99}\n')
+        with pytest.raises(ValueError, match="schema"):
+            load_run(p)
+
+    def test_seq_monotone_and_sorted_keys(self, tmp_path):
+        import io
+
+        rec = Recorder("jsonl", run="rt", out_dir=tmp_path, stream=io.StringIO())
+        _record_workload(rec)
+        path = rec.close()
+        raw = path.read_text().splitlines()
+        for line in raw:
+            parsed = json.loads(line)
+            assert line == json.dumps(parsed, sort_keys=True)
+        seqs = [e["seq"] for e in load_run(path)[1:]]
+        assert seqs == sorted(seqs) == list(range(len(seqs)))
+
+    def test_deterministic_structure_across_runs(self, tmp_path):
+        """Two identical seeded runs produce structurally identical logs
+        (same lines once the wall-clock fields are masked)."""
+        import io
+
+        def one_run(name: str):
+            rng = np.random.default_rng(0)
+            T = rng.uniform(0.2, 3.0, (3, 8))
+            A = rng.uniform(0.6, 0.99, (3, 8))
+            p = MatchingProblem(T=T, A=A, gamma=feasible_gamma(T, A, quantile=0.4),
+                                entropy=0.05)
+            rec = Recorder("jsonl", run=name, out_dir=tmp_path,
+                           stream=io.StringIO())
+            with rec.activate():
+                with rec.span("solve"):
+                    solve_relaxed(p, SolverConfig(max_iters=200))
+            return rec.close()
+
+        def masked(path):
+            out = []
+            for ev in load_run(path):
+                ev = dict(ev)
+                ev.pop("run", None)  # the only intentional difference
+                if ev.get("type") in ("span", "span_summary"):
+                    ev.pop("dur_s", None)
+                    ev.pop("total_s", None)
+                if ev.get("name", "").endswith("_s"):  # wall-clock histograms
+                    for k in ("sum", "min", "max", "counts"):
+                        ev.pop(k, None)
+                out.append(json.dumps(ev, sort_keys=True))
+            return out
+
+        assert masked(one_run("a")) == masked(one_run("b"))
+
+
+# --------------------------------------------------------------------- #
+# Integration with the instrumented solver / metadata.
+# --------------------------------------------------------------------- #
+
+
+class TestIntegration:
+    def test_solver_emits_convergence_metrics(self):
+        rng = np.random.default_rng(1)
+        T = rng.uniform(0.2, 3.0, (3, 8))
+        A = rng.uniform(0.6, 0.99, (3, 8))
+        p = MatchingProblem(T=T, A=A, gamma=feasible_gamma(T, A, quantile=0.4),
+                            entropy=0.05)
+        rec = Recorder("summary", run="t")
+        with rec.activate():
+            solve_relaxed(p, SolverConfig(max_iters=200))
+        agg = rec.aggregate()
+        assert agg["counters"]["solve/calls"]["value"] == 1
+        hist = agg["histograms"]["solve/iterations"]
+        assert hist["count"] == 1 and hist["sum"] >= 1
+
+    def test_run_metadata_fields(self):
+        meta = run_metadata(config={"a": 1}, seeds=np.array([3, 4]))
+        assert meta["seeds"] == [3, 4]
+        assert meta["config"] == repr({"a": 1})
+        assert meta["python"].count(".") == 2
+        assert isinstance(meta["argv"], list)
+
+    def test_recording_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            with recording(mode="nope"):
+                pass
