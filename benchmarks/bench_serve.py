@@ -1,0 +1,55 @@
+"""Serving-layer soak benchmark: warm-start cache vs cold solves.
+
+Replays one arrival stream through the micro-batching dispatcher twice —
+warm-start cache off, then on — and reports sustained matching throughput,
+p50/p95/p99 assignment latency, and the warm/cold mean-solver-iteration
+ratio, all read back through the telemetry histograms the dispatcher
+records in production.
+
+Run: ``python benchmarks/bench_serve.py`` records the full-size numbers in
+``BENCH_serve.json`` at the repo root (same convention as
+``bench_micro.py`` → ``BENCH_train_round.json``).  The pytest entry points
+are CI-sized smokes gating the serving invariants.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.serve import run_serve_benchmark
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def test_serve_bench_smoke(tmp_path):
+    """Gate (CI): the soak benchmark runs end to end, conserves tasks, and
+    the warm dispatcher never does more solver work than the cold one."""
+    out = tmp_path / "BENCH_serve.json"
+    report = run_serve_benchmark(smoke=True, out_path=out)
+    assert out.exists()
+    assert json.loads(out.read_text()) == report
+    for mode in ("cold", "warm"):
+        m = report[mode]
+        assert m["windows"] > 0
+        assert m["solve_iterations_mean"] > 0
+        # Same stream, same admission policy: service is identical.
+        assert m["shed"] == report["cold"]["shed"]
+        assert m["windows"] == report["cold"]["windows"]
+    assert report["warm"]["solve_iterations_mean"] <= (
+        report["cold"]["solve_iterations_mean"] * 1.05
+    )
+
+
+def main() -> None:
+    report = run_serve_benchmark(out_path=BENCH_JSON)
+    print(f"wrote {BENCH_JSON}")
+    print(
+        f"cold iters/window: {report['cold']['solve_iterations_mean']:.1f}  "
+        f"warm: {report['warm']['solve_iterations_mean']:.1f}  "
+        f"speedup: {report['warm_start_iters_speedup']}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,12 @@ Commands
     Export a measurement trace (JSON) for a setting and pool.
 ``demo``
     Run the quickstart end-to-end comparison.
+``serve run``
+    Run the online micro-batching dispatcher over a generated arrival
+    stream and print the serving summary.
+``serve bench``
+    Cold-vs-warm serving soak benchmark (``--smoke`` for the CI-sized
+    run, ``--output`` to write a ``BENCH_serve.json``-shaped report).
 """
 
 from __future__ import annotations
@@ -61,6 +67,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("demo", help="run the quickstart comparison")
+
+    p_serve = sub.add_parser("serve", help="online serving layer")
+    serve_sub = p_serve.add_subparsers(dest="serve_command", required=True)
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--setting", choices=["A", "B", "C"], default="A")
+    common.add_argument("--pattern", choices=["poisson", "bursty", "diurnal"],
+                        default="poisson")
+    common.add_argument("--rate", type=float, default=60.0,
+                        help="mean arrivals per hour")
+    common.add_argument("--horizon", type=float, default=12.0,
+                        help="arrival horizon in hours")
+    common.add_argument("--pool-size", type=int, default=64)
+    common.add_argument("--max-batch", type=int, default=16)
+    common.add_argument("--max-wait", type=float, default=0.25,
+                        help="time trigger: oldest job's max wait (hours)")
+    common.add_argument("--queue-capacity", type=int, default=128)
+    common.add_argument("--seed", type=int, default=0)
+
+    p_run = serve_sub.add_parser("run", parents=[common],
+                                 help="run the dispatcher once and summarize")
+    p_run.add_argument("--shed-policy", choices=["reject", "drop_oldest"],
+                       default="reject")
+    p_run.add_argument("--no-warm-start", action="store_true",
+                       help="disable the warm-start solver cache")
+    p_run.add_argument("--telemetry", choices=["off", "summary", "jsonl"],
+                       default="summary")
+
+    p_bench = serve_sub.add_parser("bench", parents=[common],
+                                   help="cold-vs-warm serving soak benchmark")
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="CI-sized run (short horizon, small pool)")
+    p_bench.add_argument("--output", default=None, metavar="PATH",
+                         help="write the JSON report here")
     return parser
 
 
@@ -156,6 +195,77 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.serve_command == "bench":
+        from repro.serve import run_serve_benchmark
+
+        report = run_serve_benchmark(
+            setting=args.setting,
+            pattern=args.pattern,
+            rate_per_hour=args.rate,
+            horizon_hours=args.horizon,
+            pool_size=args.pool_size,
+            max_batch=args.max_batch,
+            max_wait_hours=args.max_wait,
+            queue_capacity=args.queue_capacity,
+            seed=args.seed,
+            smoke=args.smoke,
+            out_path=args.output,
+        )
+        for mode in ("cold", "warm"):
+            m = report[mode]
+            lat = m["assignment_latency_s"]
+            print(f"{mode:>4}: windows={m['windows']} "
+                  f"iters_mean={m['solve_iterations_mean']:.1f} "
+                  f"throughput={m['throughput_tasks_per_s']:.0f} tasks/s "
+                  f"p50={lat['p50'] * 1e3:.1f}ms p95={lat['p95'] * 1e3:.1f}ms "
+                  f"p99={lat['p99'] * 1e3:.1f}ms")
+        print(f"warm-start solver-iteration speedup: "
+              f"{report['warm_start_iters_speedup']}x")
+        if args.output:
+            print(f"wrote {args.output}")
+        return 0
+
+    # serve run
+    from repro.clusters import make_setting
+    from repro.matching.relaxed import SolverConfig
+    from repro.methods import FitContext, MatchSpec, TSM
+    from repro.predictors.training import TrainConfig
+    from repro.serve import Dispatcher, DispatcherConfig, make_load
+    from repro.telemetry import recording
+    from repro.utils.rng import as_generator
+    from repro.workloads import TaskPool
+
+    pool = TaskPool(args.pool_size, rng=args.seed)
+    clusters = make_setting(args.setting)
+    train_tasks, _ = pool.split(0.6, rng=args.seed + 1)
+    spec = MatchSpec(solver=SolverConfig(tol=1e-4, max_iters=400))
+    ctx = FitContext.build(clusters, train_tasks, spec, rng=args.seed + 2)
+    print(f"training TSM predictors on {len(train_tasks)} tasks ...")
+    method = TSM(train_config=TrainConfig(epochs=120)).fit(ctx)
+    events = make_load(args.pattern, pool, args.rate).draw(
+        args.horizon, as_generator(args.seed + 3)
+    )
+    cfg = DispatcherConfig(
+        max_batch=args.max_batch,
+        max_wait_hours=args.max_wait,
+        queue_capacity=args.queue_capacity,
+        shed_policy=args.shed_policy,
+        warm_start=not args.no_warm_start,
+        memoize_predictions=not args.no_warm_start,
+    )
+    with recording(mode=args.telemetry, run="serve-run") as rec:
+        dispatcher = Dispatcher(clusters, method, spec, cfg)
+        stats = dispatcher.run(events, rng=args.seed + 4)
+    print(f"{len(events)} arrivals over {args.horizon:g}h ({args.pattern})")
+    print(stats.summary())
+    if stats.solver_iterations:
+        print(f"mean solver iterations/window: {stats.mean_solver_iterations:.1f}")
+    if stats.cache:
+        print(f"warm-start cache: {stats.cache}")
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -164,6 +274,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "pool": _cmd_pool,
         "trace": _cmd_trace,
         "demo": _cmd_demo,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

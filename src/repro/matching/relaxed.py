@@ -71,6 +71,12 @@ class RelaxedSolution:
     iterations: int
     converged: bool
     history: np.ndarray = field(repr=False)  # objective value per iteration
+    #: Backtracking halvings the *last accepted* iterate needed (step
+    #: memory).  A warm-start consumer can open its next solve at
+    #: ``lr / 2^halvings`` instead of rediscovering the same scale through
+    #: repeated rejections — the scalar analogue of the batch solver's
+    #: ``adaptive_trials`` step-memory line search.
+    halvings: int = 0
 
 
 def project_simplex_columns(X: np.ndarray) -> np.ndarray:
@@ -119,10 +125,28 @@ def solve_relaxed(
         raise ValueError(f"x0 must have shape {(problem.M, problem.N)}, got {X.shape}")
     if not problem.is_strictly_feasible(X):
         # A warm start from a neighbouring instance can be (mildly)
-        # infeasible for this one; fall back to the interior point.
-        X = problem.feasible_start()
+        # infeasible for this one.  The reliability slack is linear in a
+        # blend weight toward the interior point, so walk toward it just
+        # far enough to re-enter the barrier domain — keeping most of the
+        # warm information — before giving up and starting cold.
+        interior = problem.feasible_start()
+        for alpha in (0.25, 0.5, 0.75):
+            blended = (1.0 - alpha) * X + alpha * interior
+            if problem.is_strictly_feasible(blended):
+                X = blended
+                break
+        else:
+            X = interior
 
     f_cur = barrier_value(X, problem)
+    if x0 is not None:
+        # Hedge the warm start: one extra evaluation at the cold start
+        # guarantees a stale seed can never open the descent from a worse
+        # point than the solver would have used anyway.
+        cold = problem.feasible_start()
+        f_cold = barrier_value(cold, problem)
+        if f_cold < f_cur:
+            X, f_cur = cold, f_cold
     history = np.empty(cfg.max_iters + 1)
     history[0] = f_cur
     best_X, best_f = X, f_cur
@@ -147,6 +171,7 @@ def solve_relaxed(
     # near-uniform matrix contracts to the barycenter), so it runs in
     # non-monotone mode tracking the best iterate, exactly like Algorithm 1.
     monotone = cfg.projection != "softmax"
+    last_halvings = 0
     for it in range(1, cfg.max_iters + 1):
         grad = barrier_gradient(X, problem)
         step = cfg.lr
@@ -155,7 +180,7 @@ def solve_relaxed(
         accepted = False
         if tele:
             ls_t0 = time.perf_counter()
-        for _ in range(cfg.backtrack):
+        for h in range(cfg.backtrack):
             if cfg.projection == "mirror":
                 # Multiplicative-weights update; clip the exponent for safety.
                 Z = X * np.exp(-np.clip(step * grad, -50.0, 50.0))
@@ -165,6 +190,7 @@ def solve_relaxed(
             f_new = barrier_value(X_new, problem)
             if np.isfinite(f_new) and (not monotone or f_new <= f_cur + 1e-12):
                 accepted = True
+                last_halvings = h
                 break
             step *= 0.5
         if tele:
@@ -173,7 +199,8 @@ def solve_relaxed(
             history = history[: it + 1]
             history[it] = best_f
             return _emit(RelaxedSolution(X=best_X, objective=best_f, iterations=it,
-                                         converged=True, history=history.copy()))
+                                         converged=True, history=history.copy(),
+                                         halvings=last_halvings))
         improvement = f_cur - f_new
         X, f_cur = X_new, f_new
         if f_cur < best_f:
@@ -184,10 +211,11 @@ def solve_relaxed(
             if stall >= cfg.patience:
                 history = history[: it + 1]
                 return _emit(RelaxedSolution(X=best_X, objective=best_f, iterations=it,
-                                             converged=True, history=history.copy()))
+                                             converged=True, history=history.copy(),
+                                             halvings=last_halvings))
         else:
             stall = 0
     return _emit(RelaxedSolution(
         X=best_X, objective=best_f, iterations=it, converged=False,
-        history=history[: it + 1].copy()
+        history=history[: it + 1].copy(), halvings=last_halvings
     ))

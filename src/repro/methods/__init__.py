@@ -1,7 +1,7 @@
 """The five compared methods of §4.1.2 plus the Table 1 ablation variants."""
 
 from repro.methods.ablations import MFCPHardPenalty, MFCPLinearLoss, make_table1_methods
-from repro.methods.base import BaseMethod, FitContext, MatchSpec
+from repro.methods.base import BaseMethod, Decision, FitContext, MatchSpec
 from repro.methods.dfl_baselines import BlackboxDiff, PerturbedOpt, SPOPlus, make_dfl_methods
 from repro.methods.mfcp import MFCP, MFCPConfig
 from repro.methods.oracle import Oracle
@@ -11,6 +11,7 @@ from repro.methods.ucb import UCB
 
 __all__ = [
     "BaseMethod",
+    "Decision",
     "FitContext",
     "MatchSpec",
     "TAM",

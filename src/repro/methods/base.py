@@ -17,14 +17,14 @@ import numpy as np
 
 from repro.clusters.cluster import Cluster
 from repro.matching.problem import MatchingProblem, feasible_gamma
-from repro.matching.relaxed import SolverConfig, solve_relaxed
+from repro.matching.relaxed import RelaxedSolution, SolverConfig, solve_relaxed
 from repro.matching.rounding import round_assignment
 from repro.matching.speedup import SpeedupFunction
 from repro.predictors.dataset import ClusterDataset, Standardizer, build_datasets
 from repro.utils.rng import as_generator
 from repro.workloads.taskpool import Task
 
-__all__ = ["MatchSpec", "FitContext", "BaseMethod"]
+__all__ = ["MatchSpec", "FitContext", "BaseMethod", "Decision"]
 
 
 @dataclass(frozen=True)
@@ -107,6 +107,21 @@ class FitContext:
         return np.stack([t.features for t in tasks])
 
 
+@dataclass(frozen=True)
+class Decision:
+    """Full outcome of one allocation decision (serving-layer entry point).
+
+    ``X`` is the rounded binary matching the platform executes; ``relaxed``
+    carries the interior iterate, iteration count and step memory a
+    warm-start cache feeds back into the next window's solve; ``problem``
+    is the *decision* problem (built from predictions) the solve ran on.
+    """
+
+    X: np.ndarray
+    relaxed: RelaxedSolution
+    problem: MatchingProblem
+
+
 class BaseMethod(ABC):
     """A matching method: fit once, then decide allocation rounds."""
 
@@ -144,12 +159,40 @@ class BaseMethod(ABC):
         Methods that alter the decision objective (ablations) override
         :meth:`_decision_problem`.
         """
+        return self.decide_full(true_problem, tasks).X
+
+    def decide_full(
+        self,
+        true_problem: MatchingProblem,
+        tasks: list[Task],
+        *,
+        x0: np.ndarray | None = None,
+        solver: SolverConfig | None = None,
+        predictions: "tuple[np.ndarray, np.ndarray] | None" = None,
+    ) -> Decision:
+        """The deployment pipeline with its serving hooks exposed.
+
+        Parameters
+        ----------
+        x0:
+            Warm start for the relaxed solve (e.g. the previous window's
+            iterate from :class:`repro.serve.cache.WarmStartCache`); must
+            be column-stochastic, falls back to the cold interior start if
+            infeasible for this instance.
+        solver:
+            Override of the spec's solver config (step-memory consumers
+            reopen at a remembered learning rate).
+        predictions:
+            Precomputed ``(T̂, Â)`` matrices — the serving layer memoizes
+            predictor forward passes for repeated task specs and injects
+            them here instead of re-running :meth:`predict`.
+        """
         if not self._fitted:
             raise RuntimeError(f"{self.name}: decide() called before fit()")
-        T_hat, A_hat = self.predict(tasks)
+        T_hat, A_hat = self.predict(tasks) if predictions is None else predictions
         problem = self._decision_problem(true_problem.with_predictions(T_hat, A_hat))
-        sol = solve_relaxed(problem, self._solver_config())
-        return round_assignment(sol.X, problem)
+        sol = solve_relaxed(problem, solver or self._solver_config(), x0=x0)
+        return Decision(X=round_assignment(sol.X, problem), relaxed=sol, problem=problem)
 
     def _decision_problem(self, problem: MatchingProblem) -> MatchingProblem:
         """Hook for ablations to alter the decision objective."""

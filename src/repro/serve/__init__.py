@@ -1,0 +1,57 @@
+"""repro.serve — the online serving layer.
+
+Turns the batch reproduction into a continuously operating platform
+service (ROADMAP north star; see DESIGN.md §10):
+
+- :mod:`repro.serve.dispatcher` — event-driven micro-batching dispatch
+  loop with bounded admission, load shedding, and cluster dropout/rejoin
+  handling;
+- :mod:`repro.serve.cache` — warm-start solver cache (previous window's
+  relaxed columns + step memory) and predictor forward memoization;
+- :mod:`repro.serve.registry` — versioned predictor checkpoint registry
+  with mid-run hot-swap;
+- :mod:`repro.serve.loadgen` — Poisson/bursty/diurnal load generation and
+  the ``repro serve bench`` throughput/latency soak benchmark.
+"""
+
+from repro.serve.cache import (
+    PredictionMemo,
+    WarmStartCache,
+    batch_size_bucket,
+    make_cache_key,
+)
+from repro.serve.dispatcher import (
+    Dispatcher,
+    DispatcherConfig,
+    Outage,
+    ServeRecord,
+    ServeStats,
+)
+from repro.serve.loadgen import (
+    BurstyLoad,
+    DiurnalLoad,
+    PoissonLoad,
+    make_load,
+    run_serve_benchmark,
+)
+from repro.serve.registry import CHECKPOINT_FORMAT, CheckpointInfo, ModelRegistry
+
+__all__ = [
+    "Dispatcher",
+    "DispatcherConfig",
+    "Outage",
+    "ServeRecord",
+    "ServeStats",
+    "WarmStartCache",
+    "PredictionMemo",
+    "batch_size_bucket",
+    "make_cache_key",
+    "ModelRegistry",
+    "CheckpointInfo",
+    "CHECKPOINT_FORMAT",
+    "PoissonLoad",
+    "BurstyLoad",
+    "DiurnalLoad",
+    "make_load",
+    "run_serve_benchmark",
+]

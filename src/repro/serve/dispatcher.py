@@ -1,0 +1,504 @@
+"""Event-driven micro-batching dispatcher: the platform's serving loop.
+
+The offline experiments answer "match these N tasks once"; a deployed
+exchange platform answers "keep matching whatever arrives, forever".  This
+module provides that loop over simulated time:
+
+- **admission control** — a bounded queue with two deterministic shedding
+  policies (``"reject"`` drops the incoming job, ``"drop_oldest"`` evicts
+  the longest-waiting admitted job), so the queue depth is bounded by
+  construction under any overload;
+- **micro-batching windows** — a window closes on whichever trigger fires
+  first: the queue reaching ``max_batch`` (size trigger) or the oldest
+  queued job waiting ``max_wait_hours`` (time trigger).  A configurable
+  per-window ``dispatch_overhead_hours`` models the platform-side decision
+  cost and creates genuine backpressure: while the dispatcher is "busy",
+  arrivals accumulate and shedding can kick in;
+- **cluster dropout/rejoin** — an :class:`Outage` takes a cluster out of
+  the matchable set; jobs scheduled on it that had not finished are
+  *orphaned* and re-queued at the front of the admission queue (re-queues
+  bypass the capacity check and are never shed, so dropout loses zero
+  tasks).  On rejoin the cluster starts clean at the rejoin time;
+- **warm-started solves** — each window's relaxed solve is seeded from the
+  :class:`~repro.serve.cache.WarmStartCache` (previous window's columns +
+  step memory) and predictor forwards come from the
+  :class:`~repro.serve.cache.PredictionMemo`;
+- **checkpoint hot-swap** — a ``swap_schedule`` mapping window index →
+  registry version reloads predictor weights *between* windows and bumps
+  the memo, modelling periodic retraining without stopping the loop.
+
+Everything is driven by seeded RNG streams and processed in a fixed event
+order, so a run is bit-reproducible: :meth:`ServeStats.trace_bytes` is the
+canonical assignment trace two equal-seed runs must agree on byte-for-byte
+(wall-clock decide latencies are kept out of the trace for that reason).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.clusters.cluster import Cluster
+from repro.matching.rounding import labels_from_assignment
+from repro.methods.base import BaseMethod, MatchSpec
+from repro.serve.cache import PredictionMemo, WarmStartCache, make_cache_key
+from repro.serve.registry import ModelRegistry
+from repro.telemetry import ITER_BUCKETS, SIZE_BUCKETS, TIME_BUCKETS_S, get_recorder
+from repro.utils.rng import as_generator
+from repro.workloads.taskpool import Task
+
+__all__ = [
+    "Outage",
+    "DispatcherConfig",
+    "ServeRecord",
+    "ServeStats",
+    "Dispatcher",
+]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One cluster unavailability interval [start, end) in platform hours."""
+
+    cluster_id: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(f"need 0 <= start < end, got [{self.start}, {self.end})")
+
+
+@dataclass(frozen=True)
+class DispatcherConfig:
+    """Operating parameters of the serving loop."""
+
+    max_batch: int = 32  # size trigger: dispatch as soon as this many queue up
+    max_wait_hours: float = 0.25  # time trigger: oldest admitted job's max wait
+    queue_capacity: int = 256  # admission bound (re-queues are exempt)
+    shed_policy: str = "reject"  # "reject" | "drop_oldest"
+    #: Simulated platform-side decision cost per window.  While a window is
+    #: being decided the dispatcher accepts no new window, so arrivals pile
+    #: up — this is what makes overload (and shedding) reachable.
+    dispatch_overhead_hours: float = 0.0
+    failures: bool = True
+    jitter_std: float = 0.0  # execution-time lognormal jitter (0 = deterministic)
+    warm_start: bool = True
+    memoize_predictions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_batch <= 0 or self.queue_capacity <= 0:
+            raise ValueError("max_batch and queue_capacity must be positive")
+        if self.max_wait_hours <= 0:
+            raise ValueError("max_wait_hours must be positive")
+        if self.shed_policy not in ("reject", "drop_oldest"):
+            raise ValueError(f"unknown shed_policy {self.shed_policy!r}")
+        if self.dispatch_overhead_hours < 0 or self.jitter_std < 0:
+            raise ValueError("dispatch_overhead_hours and jitter_std must be >= 0")
+
+
+@dataclass(frozen=True)
+class ServeRecord:
+    """Final execution record of one served task (its last dispatch)."""
+
+    task_id: int
+    window: int
+    cluster_id: int
+    arrival: float
+    dispatched: float
+    start: float
+    end: float
+    success: bool
+    requeues: int
+
+
+@dataclass
+class ServeStats:
+    """Aggregate outcome of a dispatcher run."""
+
+    arrived: int = 0
+    matched: int = 0  # dispatches, counting re-dispatch after requeue
+    completed: int = 0
+    failed: int = 0
+    shed: int = 0
+    requeued: int = 0
+    unserved: int = 0  # still queued when the run ended (no cluster up)
+    windows: int = 0
+    swaps: int = 0
+    max_queue_depth: int = 0
+    total_wait_hours: float = 0.0
+    total_flow_hours: float = 0.0
+    decide_seconds: list[float] = field(default_factory=list, repr=False)
+    solver_iterations: list[int] = field(default_factory=list, repr=False)
+    batch_sizes: list[int] = field(default_factory=list, repr=False)
+    cache: dict = field(default_factory=dict)
+    memo: dict = field(default_factory=dict)
+    records: list[ServeRecord] = field(default_factory=list, repr=False)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def conserved(self) -> bool:
+        """No task lost: every arrival is served, shed, or still queued."""
+        return self.arrived == self.completed + self.failed + self.shed + self.unserved
+
+    @property
+    def mean_wait_hours(self) -> float:
+        served = self.completed + self.failed
+        if served == 0:
+            raise ValueError("no served jobs")
+        return self.total_wait_hours / served
+
+    @property
+    def mean_flow_hours(self) -> float:
+        served = self.completed + self.failed
+        if served == 0:
+            raise ValueError("no served jobs")
+        return self.total_flow_hours / served
+
+    @property
+    def mean_solver_iterations(self) -> float:
+        if not self.solver_iterations:
+            raise ValueError("no solver windows recorded")
+        return float(np.mean(self.solver_iterations))
+
+    def latency_percentiles(self, qs: Sequence[float] = (50, 95, 99)) -> dict:
+        """Wall-clock assignment (decide) latency percentiles in seconds."""
+        if not self.decide_seconds:
+            return {f"p{int(q)}": 0.0 for q in qs}
+        arr = np.asarray(self.decide_seconds)
+        return {f"p{int(q)}": float(np.percentile(arr, q)) for q in qs}
+
+    def trace_bytes(self) -> bytes:
+        """Canonical byte serialization of the assignment trace.
+
+        Contains only simulated-time quantities (never wall clock), so two
+        equal-seed runs must produce identical bytes — the determinism
+        soak test's contract.
+        """
+        lines = [
+            f"{r.task_id},{r.window},{r.cluster_id},{r.arrival:.12g},"
+            f"{r.dispatched:.12g},{r.start:.12g},{r.end:.12g},"
+            f"{int(r.success)},{r.requeues}"
+            for r in self.records
+        ]
+        return "\n".join(lines).encode()
+
+    def summary(self) -> str:
+        pct = self.latency_percentiles()
+        return (
+            f"windows={self.windows} arrived={self.arrived} done={self.completed} "
+            f"failed={self.failed} shed={self.shed} requeued={self.requeued} "
+            f"unserved={self.unserved} max_depth={self.max_queue_depth} "
+            f"p95_decide={pct['p95'] * 1e3:.1f}ms"
+        )
+
+
+@dataclass
+class _Queued:
+    task: Task
+    arrival: float
+    enqueued_at: float
+    requeues: int = 0
+
+
+@dataclass
+class _Scheduled:
+    task: Task
+    window: int
+    cluster_id: int
+    arrival: float
+    dispatched: float
+    start: float
+    end: float
+    success: bool
+    requeues: int
+
+
+class Dispatcher:
+    """Continuously operating micro-batching matchmaker (module docstring)."""
+
+    def __init__(
+        self,
+        clusters: "list[Cluster]",
+        method: BaseMethod,
+        spec: MatchSpec,
+        config: DispatcherConfig | None = None,
+        *,
+        cache: WarmStartCache | None = None,
+        memo: PredictionMemo | None = None,
+        registry: ModelRegistry | None = None,
+        swap_schedule: "dict[int, str] | None" = None,
+    ) -> None:
+        if not clusters:
+            raise ValueError("clusters must be non-empty")
+        if swap_schedule and registry is None:
+            raise ValueError("swap_schedule requires a registry")
+        self.clusters = list(clusters)
+        self.method = method
+        self.spec = spec
+        self.config = config or DispatcherConfig()
+        # Explicit None checks: an *empty* cache/memo is falsy (len == 0),
+        # so `cache or WarmStartCache()` would discard a caller's instance.
+        if not self.config.warm_start:
+            self.cache = None
+        else:
+            self.cache = WarmStartCache() if cache is None else cache
+        if not self.config.memoize_predictions:
+            self.memo = None
+        else:
+            self.memo = PredictionMemo() if memo is None else memo
+        self.registry = registry
+        self.swap_schedule = dict(swap_schedule or {})
+        # The warm-start/memo hooks only apply to methods running the
+        # default predict→solve→round pipeline; custom decide() overrides
+        # (e.g. Oracle) are dispatched as-is.
+        self._default_decide = type(method).decide is BaseMethod.decide
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        events: "Iterable[tuple[float, Task]]",
+        rng: "np.random.Generator | int | None" = None,
+        outages: "Sequence[Outage] | None" = None,
+    ) -> ServeStats:
+        """Consume an arrival stream to exhaustion and return statistics.
+
+        ``events`` is a time-ordered (or orderable) iterable of
+        ``(arrival_hour, task)`` pairs, e.g. from
+        :mod:`repro.serve.loadgen`; ``outages`` take clusters down and
+        back up at fixed times.  The queue is flushed at the end of the
+        stream; only tasks with no up cluster left remain ``unserved``.
+        """
+        cfg = self.config
+        rng = as_generator(rng)
+        stats = ServeStats()
+        rec = get_recorder()
+
+        # Merged primary event list.  Priority orders simultaneous events
+        # deterministically: rejoins first (capacity returns), then
+        # arrivals, then dropouts.
+        evs: list[tuple[float, int, int, str, object]] = []
+        for i, (t, task) in enumerate(events):
+            evs.append((float(t), 1, i, "arrive", task))
+        for i, o in enumerate(outages or ()):
+            if not any(c.cluster_id == o.cluster_id for c in self.clusters):
+                raise ValueError(f"outage for unknown cluster {o.cluster_id}")
+            evs.append((o.end, 0, i, "up", o.cluster_id))
+            evs.append((o.start, 2, i, "down", o.cluster_id))
+        evs.sort(key=lambda e: (e[0], e[1], e[2]))
+
+        queue: "deque[_Queued]" = deque()
+        down: set[int] = set()
+        free_at = {c.cluster_id: 0.0 for c in self.clusters}
+        schedule: dict[int, list[_Scheduled]] = {c.cluster_id: [] for c in self.clusters}
+        busy_until = 0.0
+        t_last = 0.0
+
+        def any_up() -> bool:
+            return len(down) < len(self.clusters)
+
+        def note_depth() -> None:
+            stats.max_queue_depth = max(stats.max_queue_depth, len(queue))
+
+        def ripe_at() -> "float | None":
+            """Earliest simulated time the next window can dispatch."""
+            if not queue or not any_up():
+                return None
+            if len(queue) >= cfg.max_batch:
+                return busy_until  # size-triggered: as soon as not busy
+            earliest = min(q.enqueued_at for q in queue)
+            return max(earliest + cfg.max_wait_hours, busy_until)
+
+        def shed_one() -> None:
+            stats.shed += 1
+            if rec.enabled:
+                rec.counter_add("serve/shed")
+
+        def admit(task: Task, now: float) -> None:
+            stats.arrived += 1
+            if len(queue) >= cfg.queue_capacity:
+                if cfg.shed_policy == "reject":
+                    shed_one()
+                    return
+                # drop_oldest: evict the longest-waiting *admitted* job;
+                # re-queued orphans are protected (zero-loss guarantee).
+                victim_idx = next(
+                    (i for i, q in enumerate(queue) if q.requeues == 0), None
+                )
+                if victim_idx is None:
+                    shed_one()
+                    return
+                del queue[victim_idx]
+                shed_one()
+            queue.append(_Queued(task, arrival=now, enqueued_at=now))
+            note_depth()
+
+        def requeue(s: _Scheduled, now: float) -> None:
+            queue.appendleft(_Queued(
+                s.task, arrival=s.arrival, enqueued_at=now, requeues=s.requeues + 1
+            ))
+            stats.requeued += 1
+            if rec.enabled:
+                rec.counter_add("serve/requeued")
+            note_depth()
+
+        def dispatch_window(now: float) -> None:
+            nonlocal busy_until
+            ups = [c for c in self.clusters if c.cluster_id not in down]
+            k = min(cfg.max_batch, len(queue))
+            window = stats.windows
+            if self.swap_schedule and window in self.swap_schedule:
+                self.registry.load_into(self.method, self.swap_schedule[window])
+                if self.memo is not None:
+                    self.memo.bump()
+                stats.swaps += 1
+                if rec.enabled:
+                    rec.event("serve/hot_swap", window=window,
+                              version=self.swap_schedule[window])
+            if rec.enabled:
+                rec.observe("serve/queue_depth", len(queue), bounds=SIZE_BUCKETS)
+            batch = [queue.popleft() for _ in range(k)]
+            tasks = [q.task for q in batch]
+            T = np.stack([c.true_times(tasks) for c in ups])
+            A = np.stack([c.true_reliabilities(tasks) for c in ups])
+            problem = self.spec.build_problem(T, A)
+
+            t0 = time.perf_counter()
+            iters = 0
+            if self._default_decide:
+                # Methods predict rows for the *full* fleet they were
+                # fitted on; with clusters down the rows must be subset to
+                # the up clusters to match the window's problem shape.
+                need_subset = len(ups) != len(self.clusters)
+                predictions = None
+                if self.memo is not None:
+                    predictions = self.memo.predict(self.method, tasks)
+                elif need_subset:
+                    predictions = self.method.predict(tasks)
+                if predictions is not None and need_subset:
+                    pos = {c.cluster_id: i for i, c in enumerate(self.clusters)}
+                    idx = [pos[c.cluster_id] for c in ups]
+                    predictions = (predictions[0][idx], predictions[1][idx])
+                x0 = None
+                solver = None
+                key = make_cache_key([c.cluster_id for c in ups], k)
+                if self.cache is not None:
+                    x0 = self.cache.seed(key, tasks, len(ups))
+                    solver = self.cache.solver_config(key, self.spec.solver)
+                decision = self.method.decide_full(
+                    problem, tasks, x0=x0, solver=solver, predictions=predictions
+                )
+                if self.cache is not None:
+                    self.cache.store(key, tasks, decision.relaxed)
+                X = decision.X
+                iters = decision.relaxed.iterations
+                stats.solver_iterations.append(iters)
+            else:
+                X = self.method.decide(problem, tasks)
+            latency = time.perf_counter() - t0
+
+            stats.windows += 1
+            stats.matched += k
+            stats.decide_seconds.append(latency)
+            stats.batch_sizes.append(k)
+            if rec.enabled:
+                rec.counter_add("serve/windows")
+                rec.observe("serve/batch_size", k, bounds=SIZE_BUCKETS)
+                rec.observe("serve/assignment_latency_s", latency,
+                            bounds=TIME_BUCKETS_S)
+                if self._default_decide:
+                    rec.observe("serve/solve_iterations", iters, bounds=ITER_BUCKETS)
+
+            labels = labels_from_assignment(X)
+            order = np.argsort(labels, kind="stable")
+            for j in order:
+                cluster = ups[int(labels[j])]
+                q = batch[int(j)]
+                start = max(free_at[cluster.cluster_id], now)
+                duration = cluster.true_time(q.task)
+                if cfg.jitter_std > 0:
+                    duration *= float(np.exp(rng.normal(0.0, cfg.jitter_std)))
+                success = (not cfg.failures) or (
+                    rng.random() < cluster.true_reliability(q.task)
+                )
+                busy = duration if success else duration * float(rng.uniform(0.05, 0.95))
+                end = start + busy
+                free_at[cluster.cluster_id] = end
+                schedule[cluster.cluster_id].append(_Scheduled(
+                    task=q.task, window=window, cluster_id=cluster.cluster_id,
+                    arrival=q.arrival, dispatched=now, start=start, end=end,
+                    success=success, requeues=q.requeues,
+                ))
+            busy_until = now + cfg.dispatch_overhead_hours
+
+        def drain(t_limit: float) -> None:
+            """Dispatch every window that ripens at or before ``t_limit``."""
+            while True:
+                r = ripe_at()
+                if r is None or r > t_limit + _EPS:
+                    return
+                dispatch_window(r)
+
+        # ---------------- main event loop over simulated time ---------- #
+        for t, _prio, _seq, kind, payload in evs:
+            drain(t)
+            t_last = max(t_last, t)
+            if kind == "arrive":
+                admit(payload, t)  # type: ignore[arg-type]
+            elif kind == "down":
+                cid = int(payload)  # type: ignore[arg-type]
+                down.add(cid)
+                kept = [s for s in schedule[cid] if s.end <= t + _EPS]
+                orphans = [s for s in schedule[cid] if s.end > t + _EPS]
+                schedule[cid] = kept
+                # Earliest-started orphan ends up at the queue front.
+                for s in sorted(orphans, key=lambda s: (s.start, s.task.task_id),
+                                reverse=True):
+                    requeue(s, t)
+            else:  # "up"
+                cid = int(payload)  # type: ignore[arg-type]
+                down.discard(cid)
+                free_at[cid] = max(free_at[cid], t)
+
+        # Flush: serve everything still queued (unless no cluster is up).
+        while queue and any_up():
+            r = ripe_at()
+            assert r is not None
+            dispatch_window(max(r, t_last))
+        stats.unserved = len(queue)
+
+        # Finalize execution records (deterministic order, then by task id).
+        for c in self.clusters:
+            for s in schedule[c.cluster_id]:
+                stats.records.append(ServeRecord(
+                    task_id=s.task.task_id, window=s.window, cluster_id=s.cluster_id,
+                    arrival=s.arrival, dispatched=s.dispatched, start=s.start,
+                    end=s.end, success=s.success, requeues=s.requeues,
+                ))
+                if s.success:
+                    stats.completed += 1
+                else:
+                    stats.failed += 1
+                stats.total_wait_hours += s.start - s.arrival
+                stats.total_flow_hours += s.end - s.arrival
+        stats.records.sort(key=lambda r: (r.task_id, r.window))
+        if self.cache is not None:
+            stats.cache = self.cache.stats()
+        if self.memo is not None:
+            stats.memo = self.memo.stats()
+        if rec.enabled:
+            rec.counter_add("serve/arrived", stats.arrived)
+            rec.counter_add("serve/completed", stats.completed)
+            rec.counter_add("serve/failed", stats.failed)
+            if self.cache is not None:
+                rec.counter_add("serve/cache_hits", self.cache.hits)
+                rec.counter_add("serve/cache_misses", self.cache.misses)
+        return stats

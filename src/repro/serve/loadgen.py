@@ -1,0 +1,297 @@
+"""Load generation and the serving throughput/latency benchmark.
+
+Three arrival processes cover the traffic regimes a resource exchange
+platform sees in production:
+
+- :class:`PoissonLoad` — homogeneous Poisson stream (the steady state);
+- :class:`BurstyLoad` — a two-state Markov-modulated Poisson process
+  (quiet base rate, exponential-duration bursts at a high rate) modelling
+  batch-submission spikes;
+- :class:`DiurnalLoad` — a sinusoidal day/night rate profile realized by
+  thinning, modelling the human-driven daily cycle.
+
+All three implement the ``draw(horizon_hours, rng)`` protocol consumed by
+both :func:`repro.sim.online.simulate_online` and
+:class:`repro.serve.dispatcher.Dispatcher`, and all draws are fully
+determined by the passed generator.
+
+:func:`run_serve_benchmark` is the end-to-end soak benchmark behind
+``repro serve bench``: it trains a predictor stack, replays the same
+arrival stream through the dispatcher cold (no warm-start cache) and warm,
+and reports sustained matching throughput, p50/p95/p99 assignment latency
+and the warm/cold solver-iteration ratio — the numbers committed to
+``BENCH_serve.json``.  Solver iterations are read back from the telemetry
+``serve/solve_iterations`` histogram so the benchmark measures exactly
+what production telemetry would.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.utils.rng import as_generator
+from repro.workloads.taskpool import Task, TaskPool
+
+__all__ = [
+    "PoissonLoad",
+    "BurstyLoad",
+    "DiurnalLoad",
+    "make_load",
+    "run_serve_benchmark",
+]
+
+
+@dataclass(frozen=True)
+class PoissonLoad:
+    """Homogeneous Poisson arrivals sampled from a task pool."""
+
+    pool: TaskPool
+    rate_per_hour: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_hour <= 0:
+            raise ValueError(f"rate_per_hour must be > 0, got {self.rate_per_hour}")
+
+    def draw(self, horizon_hours: float, rng: np.random.Generator) -> "list[tuple[float, Task]]":
+        if horizon_hours <= 0:
+            raise ValueError("horizon must be positive")
+        rng = as_generator(rng)
+        events: list[tuple[float, Task]] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / self.rate_per_hour))
+            if t >= horizon_hours:
+                return events
+            events.append((t, self.pool.sample_round(1, rng, replace=True)[0]))
+
+
+@dataclass(frozen=True)
+class BurstyLoad:
+    """Two-state MMPP: base-rate quiet phases, high-rate burst phases.
+
+    Phases alternate (starting quiet) with exponential durations; within a
+    phase arrivals are Poisson at that phase's rate.
+    """
+
+    pool: TaskPool
+    base_rate: float
+    burst_rate: float
+    mean_quiet_hours: float = 1.5
+    mean_burst_hours: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_rate <= 0 or self.burst_rate <= 0:
+            raise ValueError("base_rate and burst_rate must be > 0")
+        if self.burst_rate <= self.base_rate:
+            raise ValueError("burst_rate must exceed base_rate")
+        if self.mean_quiet_hours <= 0 or self.mean_burst_hours <= 0:
+            raise ValueError("phase durations must be > 0")
+
+    def draw(self, horizon_hours: float, rng: np.random.Generator) -> "list[tuple[float, Task]]":
+        if horizon_hours <= 0:
+            raise ValueError("horizon must be positive")
+        rng = as_generator(rng)
+        events: list[tuple[float, Task]] = []
+        t = 0.0
+        bursting = False
+        while t < horizon_hours:
+            mean = self.mean_burst_hours if bursting else self.mean_quiet_hours
+            phase_end = min(t + float(rng.exponential(mean)), horizon_hours)
+            rate = self.burst_rate if bursting else self.base_rate
+            s = t
+            while True:
+                s += float(rng.exponential(1.0 / rate))
+                if s >= phase_end:
+                    break
+                events.append((s, self.pool.sample_round(1, rng, replace=True)[0]))
+            t = phase_end
+            bursting = not bursting
+        return events
+
+
+@dataclass(frozen=True)
+class DiurnalLoad:
+    """Sinusoidal day/night rate profile realized by Poisson thinning.
+
+    Instantaneous rate: ``trough + (peak - trough) * (1 + sin(2π(t/period
+    + phase))) / 2`` — peak-rate candidates are thinned by the rate ratio,
+    the textbook non-homogeneous Poisson construction.
+    """
+
+    pool: TaskPool
+    peak_rate: float
+    trough_rate: float
+    period_hours: float = 24.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.trough_rate <= 0 or self.peak_rate <= self.trough_rate:
+            raise ValueError("need 0 < trough_rate < peak_rate")
+        if self.period_hours <= 0:
+            raise ValueError("period_hours must be > 0")
+
+    def rate_at(self, t: float) -> float:
+        wave = 0.5 * (1.0 + math.sin(2.0 * math.pi * (t / self.period_hours + self.phase)))
+        return self.trough_rate + (self.peak_rate - self.trough_rate) * wave
+
+    def draw(self, horizon_hours: float, rng: np.random.Generator) -> "list[tuple[float, Task]]":
+        if horizon_hours <= 0:
+            raise ValueError("horizon must be positive")
+        rng = as_generator(rng)
+        events: list[tuple[float, Task]] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / self.peak_rate))
+            if t >= horizon_hours:
+                return events
+            if rng.random() < self.rate_at(t) / self.peak_rate:
+                events.append((t, self.pool.sample_round(1, rng, replace=True)[0]))
+
+
+def make_load(pattern: str, pool: TaskPool, rate_per_hour: float):
+    """Factory keyed by CLI pattern name, normalized to a mean ``rate``."""
+    if rate_per_hour <= 0:
+        raise ValueError(f"rate_per_hour must be > 0, got {rate_per_hour}")
+    if pattern == "poisson":
+        return PoissonLoad(pool, rate_per_hour)
+    if pattern == "bursty":
+        # Quiet 3/4 of the time at half rate, bursts at 2.5x: mean ≈ rate.
+        return BurstyLoad(pool, base_rate=0.5 * rate_per_hour,
+                          burst_rate=2.5 * rate_per_hour)
+    if pattern == "diurnal":
+        # Symmetric swing around the requested mean.
+        return DiurnalLoad(pool, peak_rate=1.6 * rate_per_hour,
+                           trough_rate=0.4 * rate_per_hour)
+    raise ValueError(f"unknown load pattern {pattern!r}")
+
+
+# --------------------------------------------------------------------- #
+# The serving benchmark (repro serve bench).
+# --------------------------------------------------------------------- #
+
+
+def run_serve_benchmark(
+    *,
+    setting: str = "A",
+    pattern: str = "poisson",
+    rate_per_hour: float = 60.0,
+    horizon_hours: float = 12.0,
+    pool_size: int = 64,
+    max_batch: int = 16,
+    max_wait_hours: float = 0.25,
+    queue_capacity: int = 128,
+    train_epochs: int = 120,
+    solver_tol: float = 1e-4,
+    solver_max_iters: int = 400,
+    seed: int = 0,
+    smoke: bool = False,
+    out_path: "str | os.PathLike[str] | None" = None,
+) -> dict:
+    """Cold-vs-warm serving soak; returns (and optionally writes) the report.
+
+    The same arrival stream and execution RNG replay through two fresh
+    dispatchers — warm-start cache off, then on — so the iteration counts
+    are paired.  ``smoke=True`` shrinks every knob for CI.
+
+    ``solver_tol``/``solver_max_iters`` define the *serving-grade* solver
+    configuration: latency-bound deployments stop the barrier descent at a
+    looser tolerance than the offline experiments (the rounded assignment
+    is long since stable in the 1e-7 tail), which is also the regime where
+    a warm start pays — the seeded solve opens near the optimum and the
+    early-stop rule fires quickly.
+    """
+    from repro.clusters import make_setting
+    from repro.matching.relaxed import SolverConfig
+    from repro.methods import FitContext, MatchSpec, TSM
+    from repro.predictors.training import TrainConfig
+    from repro.serve.dispatcher import Dispatcher, DispatcherConfig
+    from repro.telemetry import recording
+
+    if smoke:
+        rate_per_hour = min(rate_per_hour, 30.0)
+        horizon_hours = min(horizon_hours, 2.0)
+        pool_size = min(pool_size, 40)
+        train_epochs = min(train_epochs, 40)
+
+    pool = TaskPool(pool_size, rng=seed)
+    clusters = make_setting(setting)
+    train_tasks, _ = pool.split(0.6, rng=seed + 1)
+    spec = MatchSpec(solver=SolverConfig(tol=solver_tol, max_iters=solver_max_iters))
+    ctx = FitContext.build(clusters, train_tasks, spec, rng=seed + 2)
+    method = TSM(train_config=TrainConfig(epochs=train_epochs)).fit(ctx)
+    load = make_load(pattern, pool, rate_per_hour)
+    events = load.draw(horizon_hours, as_generator(seed + 3))
+
+    modes: dict[str, dict] = {}
+    for mode, warm in (("cold", False), ("warm", True)):
+        cfg = DispatcherConfig(
+            max_batch=max_batch,
+            max_wait_hours=max_wait_hours,
+            queue_capacity=queue_capacity,
+            warm_start=warm,
+            memoize_predictions=warm,  # memo rides with the cache mode
+        )
+        with recording(mode="summary", run=f"serve-bench-{mode}",
+                       stream=io.StringIO()) as rec:
+            dispatcher = Dispatcher(clusters, method, spec, cfg)
+            stats = dispatcher.run(events, rng=seed + 4)
+            hists = rec.aggregate()["histograms"]
+        iters_hist = hists.get("serve/solve_iterations", {"count": 0, "sum": 0.0})
+        iters_mean = (
+            iters_hist["sum"] / iters_hist["count"] if iters_hist["count"] else 0.0
+        )
+        decide_total_s = float(sum(stats.decide_seconds))
+        modes[mode] = {
+            "windows": stats.windows,
+            "matched": stats.matched,
+            "completed": stats.completed,
+            "failed": stats.failed,
+            "shed": stats.shed,
+            "max_queue_depth": stats.max_queue_depth,
+            "solve_iterations_mean": round(iters_mean, 3),
+            "decide_total_s": round(decide_total_s, 4),
+            "throughput_tasks_per_s": round(
+                stats.matched / decide_total_s if decide_total_s else 0.0, 1
+            ),
+            "assignment_latency_s": {
+                k: round(v, 6) for k, v in stats.latency_percentiles().items()
+            },
+            "mean_wait_hours": round(stats.mean_wait_hours, 4),
+            "cache": stats.cache,
+            "memo": stats.memo,
+        }
+
+    cold_it = modes["cold"]["solve_iterations_mean"]
+    warm_it = modes["warm"]["solve_iterations_mean"]
+    report = {
+        "benchmark": "online serving soak: micro-batching dispatcher, warm vs cold solver",
+        "setting": setting,
+        "pattern": pattern,
+        "rate_per_hour": rate_per_hour,
+        "horizon_hours": horizon_hours,
+        "pool_size": pool_size,
+        "max_batch": max_batch,
+        "max_wait_hours": max_wait_hours,
+        "queue_capacity": queue_capacity,
+        "solver_tol": solver_tol,
+        "solver_max_iters": solver_max_iters,
+        "seed": seed,
+        "arrivals": len(events),
+        "cold": modes["cold"],
+        "warm": modes["warm"],
+        "warm_start_iters_speedup": round(cold_it / warm_it, 2) if warm_it else None,
+    }
+    if out_path is not None:
+        path = Path(out_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report

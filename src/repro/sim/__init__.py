@@ -2,7 +2,13 @@
 
 from repro.sim.engine import ExecutionConfig, simulate_matching
 from repro.sim.events import Event, Simulator
-from repro.sim.online import OnlineConfig, OnlineStats, PoissonArrivals, simulate_online
+from repro.sim.online import (
+    ArrivalStream,
+    OnlineConfig,
+    OnlineStats,
+    PoissonArrivals,
+    simulate_online,
+)
 from repro.sim.trace import SimulationResult, TaskOutcome, TaskRecord
 
 __all__ = [
@@ -13,6 +19,7 @@ __all__ = [
     "SimulationResult",
     "TaskOutcome",
     "TaskRecord",
+    "ArrivalStream",
     "PoissonArrivals",
     "OnlineConfig",
     "OnlineStats",

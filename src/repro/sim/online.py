@@ -8,6 +8,10 @@ the work to clusters that may still be busy with earlier batches.
 
 This module provides that operating loop as a substrate extension:
 
+- :class:`ArrivalStream` — the protocol every arrival process implements
+  (``draw(horizon_hours, rng) -> [(time, task), ...]``); besides the
+  built-in :class:`PoissonArrivals`, any generator from
+  :mod:`repro.serve.loadgen` (bursty MMPP, diurnal) plugs in directly;
 - :class:`PoissonArrivals` — a homogeneous Poisson job stream drawn from a
   task pool;
 - :func:`simulate_online` — windowed batch matching over a finite horizon,
@@ -23,6 +27,7 @@ can be dropped into the loop.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -33,7 +38,29 @@ from repro.telemetry import SIZE_BUCKETS, TIME_BUCKETS_S, get_recorder, span
 from repro.utils.rng import as_generator
 from repro.workloads.taskpool import Task, TaskPool
 
-__all__ = ["PoissonArrivals", "OnlineConfig", "OnlineStats", "simulate_online"]
+__all__ = [
+    "ArrivalStream",
+    "PoissonArrivals",
+    "OnlineConfig",
+    "OnlineStats",
+    "simulate_online",
+]
+
+
+@runtime_checkable
+class ArrivalStream(Protocol):
+    """Anything that can draw a time-ordered (arrival, task) stream.
+
+    Implemented by :class:`PoissonArrivals` here and by every generator in
+    :mod:`repro.serve.loadgen`; consumed by :func:`simulate_online` and by
+    :class:`repro.serve.dispatcher.Dispatcher` (via a pre-drawn list).
+    """
+
+    def draw(
+        self, horizon_hours: float, rng: np.random.Generator
+    ) -> "list[tuple[float, Task]]":
+        """All (arrival time, task) events in ``[0, horizon_hours)``."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -131,7 +158,7 @@ class OnlineStats:
 def simulate_online(
     clusters: "list[Cluster]",
     method: BaseMethod,
-    arrivals: PoissonArrivals,
+    arrivals: ArrivalStream,
     spec: MatchSpec,
     config: OnlineConfig | None = None,
     rng: np.random.Generator | int | None = None,

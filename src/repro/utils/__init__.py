@@ -1,9 +1,13 @@
-"""Shared utilities: seeded RNG streams, validation, timing, table rendering."""
+"""Shared utilities: seeded RNG streams, validation, table rendering.
+
+Timing helpers moved to :mod:`repro.telemetry` (the ``span`` primitive);
+the legacy ``Timer``/``timed`` shims remain importable from
+:mod:`repro.utils.timer` only and emit a ``DeprecationWarning`` on use.
+"""
 
 from repro.utils.csvio import write_reports_csv, write_series_csv
 from repro.utils.rng import as_generator, iter_seeds, spawn, spawn_many, stream_of
 from repro.utils.tables import Table, format_mean_std, render_series
-from repro.utils.timer import Timer, timed
 from repro.utils.validation import (
     check_array,
     check_assignment_matrix,
@@ -22,8 +26,6 @@ __all__ = [
     "Table",
     "format_mean_std",
     "render_series",
-    "Timer",
-    "timed",
     "check_array",
     "check_assignment_matrix",
     "check_in_range",

@@ -1,0 +1,483 @@
+"""Tests for the online serving layer (repro.serve).
+
+Covers the four serving components end to end:
+
+- load generation (determinism, validation, factory);
+- the warm-start solver cache and prediction memo;
+- the versioned checkpoint registry (round-trip, hot-swap, mismatch);
+- the micro-batching dispatcher (byte-identical soak replay, bounded
+  queue + shedding, dropout re-queue zero-loss, warm≈cold equivalence).
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.clusters import make_setting
+from repro.matching.relaxed import SolverConfig, solve_relaxed
+from repro.methods import TSM, Decision, FitContext, MatchSpec
+from repro.methods.base import BaseMethod
+from repro.predictors.models import PredictorPair
+from repro.predictors.training import TrainConfig
+from repro.serve import (
+    BurstyLoad,
+    DiurnalLoad,
+    Dispatcher,
+    DispatcherConfig,
+    ModelRegistry,
+    Outage,
+    PoissonLoad,
+    PredictionMemo,
+    WarmStartCache,
+    batch_size_bucket,
+    make_cache_key,
+    make_load,
+)
+from repro.sim import ArrivalStream
+from repro.telemetry import recording
+from repro.utils.rng import as_generator
+from repro.workloads import TaskPool
+
+#: Serving-grade solver: looser tol than the offline experiments so the
+#: tests run in seconds (see run_serve_benchmark's docstring).
+SOLVER = SolverConfig(tol=1e-4, max_iters=300)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    """A small trained serving stack shared by the dispatcher tests."""
+    pool = TaskPool(24, rng=0)
+    clusters = make_setting("A")
+    train, _ = pool.split(0.6, rng=1)
+    spec = MatchSpec(solver=SOLVER)
+    ctx = FitContext.build(clusters, train, spec, rng=2)
+    method = TSM(train_config=TrainConfig(epochs=8)).fit(ctx)
+    return pool, clusters, spec, method
+
+
+def _events(pool, rate=40.0, horizon=3.0, seed=3):
+    return PoissonLoad(pool, rate).draw(horizon, as_generator(seed))
+
+
+# --------------------------------------------------------------------- #
+# Load generation.
+# --------------------------------------------------------------------- #
+
+
+class TestLoadgen:
+    def test_poisson_deterministic(self):
+        pool = TaskPool(8, rng=0)
+        load = PoissonLoad(pool, 30.0)
+        a = load.draw(2.0, as_generator(7))
+        b = load.draw(2.0, as_generator(7))
+        assert [(t, task.task_id) for t, task in a] == [
+            (t, task.task_id) for t, task in b
+        ]
+
+    @pytest.mark.parametrize("pattern", ["poisson", "bursty", "diurnal"])
+    def test_make_load_draws_sorted_within_horizon(self, pattern):
+        pool = TaskPool(8, rng=0)
+        load = make_load(pattern, pool, 40.0)
+        assert isinstance(load, ArrivalStream)
+        events = load.draw(4.0, as_generator(1))
+        times = [t for t, _ in events]
+        assert times == sorted(times)
+        assert all(0.0 < t < 4.0 for t in times)
+        assert len(events) > 0
+
+    def test_make_load_unknown_pattern(self):
+        with pytest.raises(ValueError, match="unknown load pattern"):
+            make_load("square-wave", TaskPool(4, rng=0), 10.0)
+
+    def test_validation(self):
+        pool = TaskPool(4, rng=0)
+        with pytest.raises(ValueError):
+            PoissonLoad(pool, 0.0)
+        with pytest.raises(ValueError, match="burst_rate must exceed"):
+            BurstyLoad(pool, base_rate=10.0, burst_rate=5.0)
+        with pytest.raises(ValueError):
+            DiurnalLoad(pool, peak_rate=5.0, trough_rate=5.0)
+        with pytest.raises(ValueError, match="horizon"):
+            PoissonLoad(pool, 10.0).draw(0.0, as_generator(0))
+
+    def test_diurnal_rate_profile_bounds(self):
+        load = DiurnalLoad(TaskPool(4, rng=0), peak_rate=10.0, trough_rate=2.0)
+        rates = [load.rate_at(t) for t in np.linspace(0, 48, 97)]
+        assert min(rates) >= 2.0 - 1e-12
+        assert max(rates) <= 10.0 + 1e-12
+
+
+# --------------------------------------------------------------------- #
+# Warm-start cache + prediction memo.
+# --------------------------------------------------------------------- #
+
+
+class TestWarmStartCache:
+    def test_bucketing(self):
+        assert batch_size_bucket(1) == 0
+        assert batch_size_bucket(2) == 1
+        assert batch_size_bucket(3) == batch_size_bucket(4) == 2
+        assert batch_size_bucket(5) == batch_size_bucket(8) == 3
+        with pytest.raises(ValueError):
+            batch_size_bucket(0)
+
+    def test_key_is_order_insensitive(self):
+        assert make_cache_key([3, 1, 2], 8) == make_cache_key([1, 2, 3], 8)
+
+    def test_empty_cache_misses(self):
+        pool = TaskPool(6, rng=0)
+        cache = WarmStartCache()
+        key = make_cache_key([0, 1, 2], 4)
+        assert cache.seed(key, pool.tasks[:4], 3) is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_store_then_seed_roundtrip(self):
+        pool = TaskPool(6, rng=0)
+        tasks = pool.tasks[:4]
+        key = make_cache_key([0, 1, 2], len(tasks))
+        X = np.random.default_rng(0).dirichlet(np.ones(3), size=len(tasks)).T
+        sol = _fake_solution(X)
+        cache = WarmStartCache()
+        cache.store(key, tasks, sol)
+        X0 = cache.seed(key, tasks, 3)
+        assert X0 is not None
+        np.testing.assert_allclose(X0.sum(axis=0), 1.0)
+        np.testing.assert_allclose(X0, X, atol=1e-5)
+        assert cache.hit_rate == 1.0
+
+    def test_mostly_unseen_batch_declares_miss(self):
+        pool = TaskPool(10, rng=0)
+        key = make_cache_key([0, 1, 2], 4)
+        cache = WarmStartCache()
+        X = np.full((3, 4), 1 / 3)
+        cache.store(key, pool.tasks[:4], _fake_solution(X))
+        # 1 of 4 tasks known -> below the half-known threshold.
+        assert cache.seed(key, [pool.tasks[3]] + pool.tasks[6:9], 3) is None
+        # 2 of 4 known -> seeded.
+        assert cache.seed(key, pool.tasks[2:6], 3) is not None
+
+    def test_bucket_fallback_for_off_bucket_batch(self):
+        pool = TaskPool(10, rng=0)
+        cache = WarmStartCache()
+        tasks = pool.tasks[:8]  # bucket 3
+        X = np.full((3, 8), 1 / 3)
+        cache.store(make_cache_key([0, 1, 2], 8), tasks, _fake_solution(X))
+        # A 3-task flush window (bucket 2) still finds the columns.
+        assert cache.seed(make_cache_key([0, 1, 2], 3), tasks[:3], 3) is not None
+        # A different cluster signature does not.
+        assert cache.seed(make_cache_key([0, 1, 7], 3), tasks[:3], 3) is None
+
+    def test_lru_eviction(self):
+        pool = TaskPool(6, rng=0)
+        cache = WarmStartCache(max_entries=2)
+        X = np.full((3, 2), 1 / 3)
+        for sig in ([0, 1], [0, 2], [0, 3]):
+            cache.store(make_cache_key(sig, 2), pool.tasks[:2], _fake_solution(X))
+        assert len(cache) == 2
+        assert cache.seed(make_cache_key([0, 1], 2), pool.tasks[:2], 3) is None
+
+    def test_step_memory_scales_lr(self):
+        pool = TaskPool(4, rng=0)
+        key = make_cache_key([0, 1, 2], 2)
+        cache = WarmStartCache()
+        X = np.full((3, 2), 1 / 3)
+        cache.store(key, pool.tasks[:2], _fake_solution(X, halvings=3))
+        base = SolverConfig(lr=0.8)
+        assert cache.solver_config(key, base).lr == pytest.approx(0.8 / 4.0)
+        # halvings <= 1 and unknown keys leave the config untouched.
+        cache.store(key, pool.tasks[:2], _fake_solution(X, halvings=1))
+        assert cache.solver_config(key, base) is base
+        assert cache.solver_config(make_cache_key([9], 2), base) is base
+
+
+def _fake_solution(X, halvings=0):
+    from repro.matching.relaxed import RelaxedSolution
+
+    return RelaxedSolution(
+        X=X, objective=0.0, iterations=1, converged=True,
+        history=np.zeros(2), halvings=halvings,
+    )
+
+
+class TestPredictionMemo:
+    def test_matches_direct_predict(self, stack):
+        pool, clusters, spec, method = stack
+        tasks = pool.tasks[:6]
+        memo = PredictionMemo()
+        T1, A1 = memo.predict(method, tasks)
+        T2, A2 = method.predict(list(tasks))
+        np.testing.assert_allclose(T1, T2)
+        np.testing.assert_allclose(A1, A2)
+
+    def test_hits_and_bump(self, stack):
+        pool, clusters, spec, method = stack
+        tasks = pool.tasks[:5]
+        memo = PredictionMemo()
+        memo.predict(method, tasks)
+        assert memo.misses == 5 and memo.hits == 0
+        memo.predict(method, tasks)
+        assert memo.hits == 5
+        memo.bump()
+        assert len(memo) == 0 and memo.version == 1
+        memo.predict(method, tasks)
+        assert memo.misses == 10
+
+    def test_capacity_bound(self, stack):
+        pool, clusters, spec, method = stack
+        memo = PredictionMemo(capacity=3)
+        memo.predict(method, pool.tasks[:8])
+        assert len(memo) == 3
+
+
+# --------------------------------------------------------------------- #
+# Checkpoint registry.
+# --------------------------------------------------------------------- #
+
+
+class TestModelRegistry:
+    def test_save_load_roundtrip(self, stack, tmp_path):
+        pool, clusters, spec, method = stack
+        reg = ModelRegistry(tmp_path / "reg")
+        info = reg.save(method, config=TrainConfig(epochs=8),
+                        metrics={"loss": 0.5}, tag="fit")
+        assert info.version == "v0001"
+        assert info.meta["n_clusters"] == len(clusters)
+        assert info.meta["metrics"] == {"loss": 0.5}
+        assert "git_sha" in info.meta
+
+        # A freshly initialized (untrained) stack predicts differently;
+        # loading the checkpoint restores the trained outputs exactly.
+        tasks = pool.tasks[:5]
+        want_T, want_A = method.predict(tasks)
+        other = TSM(train_config=TrainConfig(epochs=1))
+        other.fit(FitContext.build(clusters, pool.tasks[:8], spec, rng=99))
+        assert not np.allclose(other.predict(tasks)[0], want_T)
+        reg.load_into(other)
+        got_T, got_A = other.predict(tasks)
+        np.testing.assert_allclose(got_T, want_T)
+        np.testing.assert_allclose(got_A, want_A)
+
+    def test_versioning_and_latest(self, stack, tmp_path):
+        _, _, _, method = stack
+        reg = ModelRegistry(tmp_path / "reg")
+        assert reg.latest() is None and len(reg) == 0
+        reg.save(method)
+        reg.save(method, tag="second")
+        assert reg.versions() == ["v0001", "v0002"]
+        assert reg.latest() == "v0002"
+        assert "v0001" in reg
+        assert reg.info("v0002").meta["tag"] == "second"
+        with pytest.raises(KeyError):
+            reg.info("v9999")
+
+    def test_cluster_count_mismatch_raises(self, stack, tmp_path):
+        _, _, _, method = stack
+        reg = ModelRegistry(tmp_path / "reg")
+        in_features = method.pairs[0].time.standardizer.mean.size
+        reg.save([PredictorPair(in_features, rng=0)])
+        with pytest.raises(ValueError, match="cluster pairs"):
+            reg.load_into(method, "v0001")
+
+    def test_empty_registry_load_raises(self, stack, tmp_path):
+        _, _, _, method = stack
+        with pytest.raises(KeyError, match="no checkpoints"):
+            ModelRegistry(tmp_path / "reg").load_into(method)
+
+
+# --------------------------------------------------------------------- #
+# decide_full / solver warm-start semantics.
+# --------------------------------------------------------------------- #
+
+
+class TestDecideFull:
+    def test_returns_decision_matching_decide(self, stack):
+        pool, clusters, spec, method = stack
+        tasks = pool.tasks[:6]
+        T = np.stack([c.true_times(tasks) for c in clusters])
+        A = np.stack([c.true_reliabilities(tasks) for c in clusters])
+        problem = spec.build_problem(T, A)
+        decision = method.decide_full(problem, tasks)
+        assert isinstance(decision, Decision)
+        np.testing.assert_allclose(decision.X, method.decide(problem, tasks))
+        assert decision.relaxed.iterations > 0
+        assert hasattr(decision.relaxed, "halvings")
+
+    def test_warm_start_cuts_iterations_and_preserves_objective(self, stack):
+        pool, clusters, spec, method = stack
+        tasks = pool.tasks[:8]
+        T = np.stack([c.true_times(tasks) for c in clusters])
+        A = np.stack([c.true_reliabilities(tasks) for c in clusters])
+        problem = spec.build_problem(T, A).with_predictions(
+            *method.predict(list(tasks))
+        )
+        cold = solve_relaxed(problem, SOLVER)
+        cache = WarmStartCache()
+        key = make_cache_key([c.cluster_id for c in clusters], len(tasks))
+        cache.store(key, tasks, cold)
+        x0 = cache.seed(key, tasks, len(clusters))
+        warm = solve_relaxed(problem, SOLVER, x0=x0)
+        assert warm.iterations < cold.iterations
+        assert warm.objective == pytest.approx(cold.objective, rel=1e-3)
+
+
+# --------------------------------------------------------------------- #
+# Dispatcher.
+# --------------------------------------------------------------------- #
+
+
+def _run(stack, events, *, cfg=None, rng=4, outages=None, **dispatcher_kw):
+    pool, clusters, spec, method = stack
+    with recording(mode="summary", stream=io.StringIO()):
+        d = Dispatcher(clusters, method, spec, cfg, **dispatcher_kw)
+        return d.run(events, rng=rng, outages=outages)
+
+
+class TestDispatcher:
+    def test_soak_replay_is_byte_identical(self, stack):
+        pool = stack[0]
+        events = _events(pool)
+        cfg = DispatcherConfig(max_batch=8, max_wait_hours=0.2,
+                               jitter_std=0.05)
+        a = _run(stack, events, cfg=cfg)
+        b = _run(stack, events, cfg=cfg)
+        assert a.conserved and b.conserved
+        assert a.trace_bytes() == b.trace_bytes()
+        assert len(a.trace_bytes()) > 0
+
+    def test_size_and_time_triggers(self, stack):
+        pool = stack[0]
+        events = _events(pool)
+        stats = _run(stack, events, cfg=DispatcherConfig(max_batch=8))
+        assert stats.windows >= 2
+        assert max(stats.batch_sizes) <= 8
+        assert stats.arrived == len(events)
+        assert stats.shed == 0 and stats.conserved
+
+    @pytest.mark.parametrize("policy", ["reject", "drop_oldest"])
+    def test_overload_sheds_and_bounds_queue(self, stack, policy):
+        pool = stack[0]
+        events = _events(pool, rate=80.0, horizon=2.0)
+        cfg = DispatcherConfig(
+            max_batch=4, max_wait_hours=0.1, queue_capacity=6,
+            shed_policy=policy, dispatch_overhead_hours=0.3,
+        )
+        stats = _run(stack, events, cfg=cfg)
+        assert stats.shed > 0
+        assert stats.max_queue_depth <= cfg.queue_capacity
+        assert stats.conserved
+
+    def test_shedding_is_deterministic(self, stack):
+        pool = stack[0]
+        events = _events(pool, rate=80.0, horizon=2.0)
+        cfg = DispatcherConfig(max_batch=4, max_wait_hours=0.1,
+                               queue_capacity=6, dispatch_overhead_hours=0.3)
+        a = _run(stack, events, cfg=cfg)
+        b = _run(stack, events, cfg=cfg)
+        assert a.shed == b.shed > 0
+        assert a.trace_bytes() == b.trace_bytes()
+
+    def test_outage_requeues_without_losing_tasks(self, stack):
+        pool, clusters, spec, method = stack
+        events = _events(pool, rate=40.0, horizon=2.0)
+        cfg = DispatcherConfig(max_batch=8, failures=False)
+        base = _run(stack, events, cfg=cfg)
+        # Pick a cluster with work dispatched before t=0.6 but still
+        # executing then — exactly the jobs a dropout orphans.
+        victims = [r.cluster_id for r in base.records
+                   if r.dispatched < 0.6 < r.end]
+        assert victims, "fixture run must have work in flight at t=0.6"
+        outage = Outage(victims[0], start=0.6, end=1.4)
+        stats = _run(stack, events, cfg=cfg, outages=[outage])
+        assert stats.requeued > 0
+        assert stats.conserved
+        assert stats.unserved == 0
+        assert stats.shed == 0
+        # Every arrival completed (failures off): zero tasks lost.
+        assert stats.completed == stats.arrived
+        # Nothing runs on the victim during the outage window.
+        for r in stats.records:
+            if r.cluster_id == outage.cluster_id:
+                assert r.end <= outage.start + 1e-9 or r.start >= outage.end - 1e-9
+
+    def test_requeued_tasks_survive_drop_oldest_overload(self, stack):
+        pool = stack[0]
+        events = _events(pool, rate=80.0, horizon=2.0)
+        cfg = DispatcherConfig(
+            max_batch=4, max_wait_hours=0.1, queue_capacity=4,
+            shed_policy="drop_oldest", dispatch_overhead_hours=0.25,
+            failures=False,
+        )
+        base = _run(stack, events, cfg=cfg)
+        victims = [r.cluster_id for r in base.records
+                   if r.dispatched < 0.5 < r.end]
+        assert victims
+        stats = _run(stack, events, cfg=cfg,
+                     outages=[Outage(victims[0], start=0.5, end=1.5)])
+        assert stats.conserved
+        # Requeued orphans are shed-exempt: arrived == served + shed holds
+        # and nothing vanished even with both pressures active.
+        assert stats.requeued > 0 and stats.shed > 0
+
+    def test_warm_start_helps_and_matches_cold_service(self, stack):
+        pool = stack[0]
+        events = _events(pool, rate=40.0, horizon=4.0)
+        runs = {}
+        for warm in (False, True):
+            cfg = DispatcherConfig(max_batch=8, warm_start=warm,
+                                   memoize_predictions=warm)
+            runs[warm] = _run(stack, events, cfg=cfg)
+        cold, warm = runs[False], runs[True]
+        assert cold.conserved and warm.conserved
+        assert warm.cache["hits"] > 0
+        # Same arrivals served either way; the cache only changes solver
+        # effort, never admission/shedding behaviour.
+        assert (cold.arrived, cold.shed, cold.windows) == (
+            warm.arrived, warm.shed, warm.windows
+        )
+        assert sum(warm.solver_iterations) < sum(cold.solver_iterations)
+
+    def test_hot_swap_mid_run(self, stack, tmp_path):
+        pool, clusters, spec, method = stack
+        reg = ModelRegistry(tmp_path / "reg")
+        reg.save(method, tag="fit")
+        events = _events(pool, rate=40.0, horizon=2.0)
+        memo = PredictionMemo()
+        cfg = DispatcherConfig(max_batch=8)
+        stats = _run(stack, events, cfg=cfg, memo=memo,
+                     registry=reg, swap_schedule={1: "v0001"})
+        assert stats.swaps == 1
+        assert memo.version == 1
+        assert stats.conserved
+
+    def test_swap_schedule_requires_registry(self, stack):
+        pool, clusters, spec, method = stack
+        with pytest.raises(ValueError, match="registry"):
+            Dispatcher(clusters, method, spec, swap_schedule={0: "v0001"})
+
+    def test_custom_decide_method_skips_cache(self, stack):
+        pool, clusters, spec, method = stack
+
+        class FirstCluster(BaseMethod):
+            name = "first"
+
+            def _fit(self, ctx):
+                pass
+
+            def predict(self, tasks):  # pragma: no cover - not used
+                raise AssertionError("custom decide should not predict")
+
+            def decide(self, problem, tasks):
+                X = np.zeros((problem.M, problem.N))
+                X[0, :] = 1.0
+                return X
+
+        first = FirstCluster()
+        first._fitted = True
+        d = Dispatcher(clusters, first, spec, DispatcherConfig(max_batch=4))
+        stats = d.run(_events(pool, rate=20.0, horizon=1.0), rng=0)
+        assert stats.conserved
+        assert stats.solver_iterations == []
+        assert all(r.cluster_id == clusters[0].cluster_id for r in stats.records)

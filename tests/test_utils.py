@@ -1,15 +1,17 @@
-"""Tests for the shared utilities (RNG streams, validation, tables, timers)."""
+"""Tests for the shared utilities (RNG streams, validation, tables)."""
 
 from __future__ import annotations
 
+import io
 import time
 
 import numpy as np
 import pytest
 
+import repro.utils
+from repro.telemetry import recording, span
 from repro.utils import (
     Table,
-    Timer,
     as_generator,
     check_array,
     check_assignment_matrix,
@@ -23,7 +25,6 @@ from repro.utils import (
     spawn,
     spawn_many,
     stream_of,
-    timed,
 )
 
 
@@ -132,17 +133,50 @@ class TestTables:
             render_series("N", [1, 2], {"m": [0.1]})
 
 
-class TestTimers:
-    def test_timer_accumulates(self):
+class TestTiming:
+    """Wall-clock timing is the telemetry span primitive's job now."""
+
+    def test_span_measures_elapsed(self):
+        with recording(mode="summary", stream=io.StringIO()):
+            with span("work") as s:
+                time.sleep(0.002)
+        assert s.elapsed >= 0.002
+        assert s.ok
+
+    def test_span_aggregates_sections(self):
+        with recording(mode="summary", stream=io.StringIO()) as rec:
+            for _ in range(3):
+                with span("work"):
+                    time.sleep(0.001)
+            agg = rec.aggregate()["spans"]["work"]
+        assert agg["calls"] == 3
+        assert agg["errors"] == 0
+        assert agg["total_s"] >= 0.003
+
+
+class TestTimerShim:
+    """The legacy timer module stays importable but warns and is unexported."""
+
+    def test_timer_section_warns_and_accumulates(self):
+        from repro.utils.timer import Timer
+
         t = Timer()
-        for _ in range(3):
+        with pytest.warns(DeprecationWarning, match="Timer.section is deprecated"):
             with t.section("work"):
                 time.sleep(0.001)
-        assert t.counts["work"] == 3
-        assert t.total("work") >= 0.003
-        assert "work" in t.report()
+        assert t.counts["work"] == 1
+        assert t.total("work") >= 0.001
 
-    def test_timed_records_elapsed(self):
-        with timed() as out:
-            time.sleep(0.002)
-        assert out[0] >= 0.002
+    def test_timed_warns_and_records(self):
+        from repro.utils.timer import timed
+
+        with pytest.warns(DeprecationWarning, match="timed is deprecated"):
+            with timed() as out:
+                time.sleep(0.001)
+        assert out[0] >= 0.001
+
+    def test_not_exported_from_utils(self):
+        assert "Timer" not in repro.utils.__all__
+        assert "timed" not in repro.utils.__all__
+        assert not hasattr(repro.utils, "Timer")
+        assert not hasattr(repro.utils, "timed")
