@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import time
 from collections import deque
+from itertools import islice
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -301,6 +302,11 @@ class Dispatcher:
         schedule: dict[int, list[_Scheduled]] = {c.cluster_id: [] for c in self.clusters}
         busy_until = 0.0
         t_last = 0.0
+        # Last simulated time the up-set changed (dropout or rejoin).  No
+        # dispatch may predate it: a window that ripened while every
+        # cluster was down must wait for the rejoin, and orphans requeued
+        # by a dropout must not be re-dispatched before the dropout.
+        fleet_changed_at = 0.0
 
         def any_up() -> bool:
             return len(down) < len(self.clusters)
@@ -313,9 +319,14 @@ class Dispatcher:
             if not queue or not any_up():
                 return None
             if len(queue) >= cfg.max_batch:
-                return busy_until  # size-triggered: as soon as not busy
+                # Size-triggered: as soon as not busy, but never before
+                # every job of the would-be batch (the queue's first
+                # max_batch entries) was enqueued — else the trace would
+                # record dispatched < arrival.
+                newest = max(q.enqueued_at for q in islice(queue, cfg.max_batch))
+                return max(busy_until, newest, fleet_changed_at)
             earliest = min(q.enqueued_at for q in queue)
-            return max(earliest + cfg.max_wait_hours, busy_until)
+            return max(earliest + cfg.max_wait_hours, busy_until, fleet_changed_at)
 
         def shed_one() -> None:
             stats.shed += 1
@@ -359,6 +370,12 @@ class Dispatcher:
                 self.registry.load_into(self.method, self.swap_schedule[window])
                 if self.memo is not None:
                     self.memo.bump()
+                if self.cache is not None:
+                    # Cached columns were optima of the *old* model's
+                    # predicted problem; keeping them would let post-swap
+                    # windows report warm "hits" seeded from a stale
+                    # objective.  Start the new model cold.
+                    self.cache.clear()
                 stats.swaps += 1
                 if rec.enabled:
                     rec.event("serve/hot_swap", window=window,
@@ -456,6 +473,7 @@ class Dispatcher:
             elif kind == "down":
                 cid = int(payload)  # type: ignore[arg-type]
                 down.add(cid)
+                fleet_changed_at = t
                 kept = [s for s in schedule[cid] if s.end <= t + _EPS]
                 orphans = [s for s in schedule[cid] if s.end > t + _EPS]
                 schedule[cid] = kept
@@ -466,7 +484,11 @@ class Dispatcher:
             else:  # "up"
                 cid = int(payload)  # type: ignore[arg-type]
                 down.discard(cid)
-                free_at[cid] = max(free_at[cid], t)
+                fleet_changed_at = t
+                # Every job kept through the outage ended at or before its
+                # start, and the orphans were re-queued to run elsewhere —
+                # the rejoined cluster starts clean at the rejoin time.
+                free_at[cid] = t
 
         # Flush: serve everything still queued (unless no cluster is up).
         while queue and any_up():

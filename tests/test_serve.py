@@ -335,6 +335,31 @@ def _run(stack, events, *, cfg=None, rng=4, outages=None, **dispatcher_kw):
         return d.run(events, rng=rng, outages=outages)
 
 
+def _assert_causal(stats):
+    """Every record respects simulated-time causality."""
+    for r in stats.records:
+        assert r.arrival <= r.dispatched + 1e-9
+        assert r.dispatched <= r.start + 1e-9
+        assert r.start <= r.end + 1e-9
+
+
+class _FirstCluster(BaseMethod):
+    """Custom decide() override: everything goes to the first up cluster."""
+
+    name = "first"
+
+    def _fit(self, ctx):
+        pass
+
+    def predict(self, tasks):  # pragma: no cover - not used
+        raise AssertionError("custom decide should not predict")
+
+    def decide(self, problem, tasks):
+        X = np.zeros((problem.M, problem.N))
+        X[0, :] = 1.0
+        return X
+
+
 class TestDispatcher:
     def test_soak_replay_is_byte_identical(self, stack):
         pool = stack[0]
@@ -344,8 +369,34 @@ class TestDispatcher:
         a = _run(stack, events, cfg=cfg)
         b = _run(stack, events, cfg=cfg)
         assert a.conserved and b.conserved
+        _assert_causal(a)
         assert a.trace_bytes() == b.trace_bytes()
         assert len(a.trace_bytes()) > 0
+
+    def test_size_trigger_never_dispatches_before_arrivals(self, stack):
+        pool = stack[0]
+        # A burst at t=1.0 fills the queue to max_batch while busy_until
+        # is still 0: the window must dispatch at the burst time, never
+        # earlier (dispatched < arrival would poison the wait stats).
+        events = [(1.0, task) for task in pool.tasks[:10]]
+        stats = _run(stack, events, cfg=DispatcherConfig(max_batch=4))
+        assert stats.conserved
+        _assert_causal(stats)
+        assert all(r.dispatched >= 1.0 - 1e-9 for r in stats.records)
+
+    def test_no_dispatch_during_full_outage(self, stack):
+        pool, clusters, spec, method = stack
+        # Arrivals at t=0.1 ripen mid-outage (0.05-2.0 covers the whole
+        # fleet); dispatch must wait for the rejoin, not happen at the
+        # ripen time with no cluster up.
+        events = [(0.1, t) for t in pool.tasks[:4]] + [(2.5, pool.tasks[4])]
+        outages = [Outage(c.cluster_id, start=0.05, end=2.0) for c in clusters]
+        stats = _run(stack, events, cfg=DispatcherConfig(max_batch=8,
+                                                         failures=False),
+                     outages=outages)
+        assert stats.conserved and stats.unserved == 0
+        _assert_causal(stats)
+        assert all(r.dispatched >= 2.0 - 1e-9 for r in stats.records)
 
     def test_size_and_time_triggers(self, stack):
         pool = stack[0]
@@ -397,10 +448,40 @@ class TestDispatcher:
         assert stats.shed == 0
         # Every arrival completed (failures off): zero tasks lost.
         assert stats.completed == stats.arrived
+        _assert_causal(stats)
         # Nothing runs on the victim during the outage window.
         for r in stats.records:
             if r.cluster_id == outage.cluster_id:
                 assert r.end <= outage.start + 1e-9 or r.start >= outage.end - 1e-9
+
+    def test_rejoined_cluster_starts_clean(self, stack):
+        pool, clusters, spec, _ = stack
+        first = _FirstCluster()
+        first._fitted = True
+        a, b = pool.tasks[0], pool.tasks[1]
+        d0 = clusters[0].true_time(a)
+        t_a = 0.1
+        # Outage orphans A mid-execution; B arrives after the rejoin but
+        # before A's now-phantom end time t_a + d0 on the dead cluster.
+        t_down, t_up = t_a + 0.5 * d0, t_a + 0.75 * d0
+        t_b = t_a + 0.8 * d0
+        cfg = DispatcherConfig(max_batch=1, failures=False)
+        d = Dispatcher(clusters, first, spec, cfg)
+        stats = d.run(
+            [(t_a, a), (t_b, b)], rng=0,
+            outages=[Outage(clusters[0].cluster_id, start=t_down, end=t_up)],
+        )
+        assert stats.conserved and stats.requeued == 1
+        _assert_causal(stats)
+        rec_a = next(r for r in stats.records if r.task_id == a.task_id)
+        assert rec_a.requeues == 1
+        assert rec_a.cluster_id != clusters[0].cluster_id
+        # B lands on the rejoined cluster and starts at its own dispatch:
+        # the orphan's end time must not linger in the cluster's free_at.
+        rec_b = next(r for r in stats.records if r.task_id == b.task_id)
+        assert rec_b.cluster_id == clusters[0].cluster_id
+        assert rec_b.dispatched == pytest.approx(t_b)
+        assert rec_b.start == pytest.approx(rec_b.dispatched)
 
     def test_requeued_tasks_survive_drop_oldest_overload(self, stack):
         pool = stack[0]
@@ -445,11 +526,22 @@ class TestDispatcher:
         reg.save(method, tag="fit")
         events = _events(pool, rate=40.0, horizon=2.0)
         memo = PredictionMemo()
+        cleared = []
+
+        class SpyCache(WarmStartCache):
+            def clear(self):
+                cleared.append(len(self))
+                super().clear()
+
+        cache = SpyCache()
         cfg = DispatcherConfig(max_batch=8)
-        stats = _run(stack, events, cfg=cfg, memo=memo,
+        stats = _run(stack, events, cfg=cfg, memo=memo, cache=cache,
                      registry=reg, swap_schedule={1: "v0001"})
         assert stats.swaps == 1
         assert memo.version == 1
+        # The warm-start cache is dropped with the memo at the swap so
+        # post-swap windows never seed from the old model's solutions.
+        assert len(cleared) == 1 and cleared[0] > 0
         assert stats.conserved
 
     def test_swap_schedule_requires_registry(self, stack):
@@ -459,22 +551,7 @@ class TestDispatcher:
 
     def test_custom_decide_method_skips_cache(self, stack):
         pool, clusters, spec, method = stack
-
-        class FirstCluster(BaseMethod):
-            name = "first"
-
-            def _fit(self, ctx):
-                pass
-
-            def predict(self, tasks):  # pragma: no cover - not used
-                raise AssertionError("custom decide should not predict")
-
-            def decide(self, problem, tasks):
-                X = np.zeros((problem.M, problem.N))
-                X[0, :] = 1.0
-                return X
-
-        first = FirstCluster()
+        first = _FirstCluster()
         first._fitted = True
         d = Dispatcher(clusters, first, spec, DispatcherConfig(max_batch=4))
         stats = d.run(_events(pool, rate=20.0, horizon=1.0), rng=0)
