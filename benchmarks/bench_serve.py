@@ -1,10 +1,13 @@
 """Serving-layer soak benchmark: warm-start cache vs cold solves.
 
-Replays one arrival stream through the micro-batching dispatcher twice —
-warm-start cache off, then on — and reports sustained matching throughput,
-p50/p95/p99 assignment latency, and the warm/cold mean-solver-iteration
-ratio, all read back through the telemetry histograms the dispatcher
-records in production.
+Replays one arrival stream through the micro-batching dispatcher three
+times — warm-start cache off, on, and on with the quality monitor
+attached — and reports sustained matching throughput, p50/p95/p99
+assignment latency, and the warm/cold mean-solver-iteration ratio, all
+read back through the telemetry histograms the dispatcher records in
+production.  The monitored pass gates the observability contract: the
+monitor must not change the dispatch trace and must cost < 5% of
+dispatcher wall time.
 
 Run: ``python benchmarks/bench_serve.py`` records the full-size numbers in
 ``BENCH_serve.json`` at the repo root (same convention as
@@ -29,7 +32,7 @@ def test_serve_bench_smoke(tmp_path):
     report = run_serve_benchmark(smoke=True, out_path=out)
     assert out.exists()
     assert json.loads(out.read_text()) == report
-    for mode in ("cold", "warm"):
+    for mode in ("cold", "warm", "monitored"):
         m = report[mode]
         assert m["windows"] > 0
         assert m["solve_iterations_mean"] > 0
@@ -39,6 +42,10 @@ def test_serve_bench_smoke(tmp_path):
     assert report["warm"]["solve_iterations_mean"] <= (
         report["cold"]["solve_iterations_mean"] * 1.05
     )
+    # Observability contract: the monitor is a pure observer (identical
+    # dispatch trace) and costs < 5% of dispatcher wall time.
+    assert report["monitored"]["trace_sha256"] == report["warm"]["trace_sha256"]
+    assert report["monitored"]["monitor_overhead_frac"] < 0.05
 
 
 def main() -> None:

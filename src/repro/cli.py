@@ -20,6 +20,12 @@ Commands
 ``serve bench``
     Cold-vs-warm serving soak benchmark (``--smoke`` for the CI-sized
     run, ``--output`` to write a ``BENCH_serve.json``-shaped report).
+``monitor``
+    Render a monitoring snapshot (Prometheus text exposition + alert
+    listing) from a JSONL telemetry run log.
+``replay``
+    Deterministically re-drive a serving run from its JSONL log and
+    verify the replay against the logged final counters.
 """
 
 from __future__ import annotations
@@ -91,6 +97,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default="reject")
     p_run.add_argument("--no-warm-start", action="store_true",
                        help="disable the warm-start solver cache")
+    p_run.add_argument("--train-epochs", type=int, default=120,
+                       help="TSM predictor training epochs")
+    p_run.add_argument("--monitor", action="store_true",
+                       help="attach the online quality monitor "
+                            "(drift + SLO + regret attribution)")
     p_run.add_argument("--telemetry", choices=["off", "summary", "jsonl"],
                        default="summary")
 
@@ -100,6 +111,27 @@ def build_parser() -> argparse.ArgumentParser:
                          help="CI-sized run (short horizon, small pool)")
     p_bench.add_argument("--output", default=None, metavar="PATH",
                          help="write the JSON report here")
+
+    p_mon = sub.add_parser("monitor",
+                           help="monitoring snapshot from a JSONL run log")
+    p_mon.add_argument("--log", required=True, metavar="PATH",
+                       help="telemetry run log (results/telemetry/*.jsonl)")
+    p_mon.add_argument("--prometheus", default=None, metavar="PATH",
+                       help="write the Prometheus text exposition here "
+                            "(default: print to stdout)")
+
+    p_replay = sub.add_parser("replay",
+                              help="re-drive a serving run from its JSONL log")
+    p_replay.add_argument("--log", required=True, metavar="PATH",
+                          help="run log written by "
+                               "'repro serve run --telemetry jsonl'")
+    p_replay.add_argument("--monitor", action="store_true",
+                          help="attach the quality monitor during the replay")
+    p_replay.add_argument("--alerts-out", default=None, metavar="PATH",
+                          help="write the replay monitor's alert log (JSONL)")
+    p_replay.add_argument("--telemetry", choices=["off", "summary", "jsonl"],
+                          default="off",
+                          help="record the replay itself (run 'serve-replay')")
     return parser
 
 
@@ -227,35 +259,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
     # serve run
-    from repro.clusters import make_setting
-    from repro.matching.relaxed import SolverConfig
-    from repro.methods import FitContext, MatchSpec, TSM
-    from repro.predictors.training import TrainConfig
-    from repro.serve import Dispatcher, DispatcherConfig, make_load
+    from repro.monitor import QualityMonitor, build_stack, serve_params
+    from repro.serve import Dispatcher, make_load
     from repro.telemetry import recording
     from repro.utils.rng import as_generator
-    from repro.workloads import TaskPool
 
-    pool = TaskPool(args.pool_size, rng=args.seed)
-    clusters = make_setting(args.setting)
-    train_tasks, _ = pool.split(0.6, rng=args.seed + 1)
-    spec = MatchSpec(solver=SolverConfig(tol=1e-4, max_iters=400))
-    ctx = FitContext.build(clusters, train_tasks, spec, rng=args.seed + 2)
-    print(f"training TSM predictors on {len(train_tasks)} tasks ...")
-    method = TSM(train_config=TrainConfig(epochs=120)).fit(ctx)
-    events = make_load(args.pattern, pool, args.rate).draw(
-        args.horizon, as_generator(args.seed + 3)
-    )
-    cfg = DispatcherConfig(
+    params = serve_params(
+        setting=args.setting,
+        pool_size=args.pool_size,
+        seed=args.seed,
+        train_epochs=args.train_epochs,
         max_batch=args.max_batch,
         max_wait_hours=args.max_wait,
         queue_capacity=args.queue_capacity,
         shed_policy=args.shed_policy,
         warm_start=not args.no_warm_start,
-        memoize_predictions=not args.no_warm_start,
     )
-    with recording(mode=args.telemetry, run="serve-run") as rec:
-        dispatcher = Dispatcher(clusters, method, spec, cfg)
+    print(f"training TSM predictors ({args.train_epochs} epochs) ...")
+    pool, clusters, method, spec, cfg = build_stack(params)
+    events = make_load(args.pattern, pool, args.rate).draw(
+        args.horizon, as_generator(args.seed + 3)
+    )
+    monitor = QualityMonitor() if args.monitor else None
+    callbacks = [monitor] if monitor else None
+    # The meta["serve"] dict plus the serve/arrival and serve/outage
+    # breadcrumbs make a jsonl log fully replayable (``repro replay``).
+    with recording(mode=args.telemetry, run="serve-run",
+                   meta={"serve": params}):
+        dispatcher = Dispatcher(clusters, method, spec, cfg,
+                                callbacks=callbacks)
         stats = dispatcher.run(events, rng=args.seed + 4)
     print(f"{len(events)} arrivals over {args.horizon:g}h ({args.pattern})")
     print(stats.summary())
@@ -263,6 +295,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"mean solver iterations/window: {stats.mean_solver_iterations:.1f}")
     if stats.cache:
         print(f"warm-start cache: {stats.cache}")
+    if monitor is not None:
+        summary = monitor.summary()
+        print(f"monitor: {summary['alerts']} alerts over "
+              f"{summary['windows_seen']} windows "
+              f"{summary['alerts_by_kind'] or ''}")
+        for alert in monitor.alerts:
+            print(f"  [{alert.kind}] window {alert.window} t={alert.time:.2f}h "
+                  f"{alert.signal}/{alert.detector}: {alert.message}")
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.monitor import prometheus_text
+    from repro.telemetry.jsonl import aggregate_events, load_run, meta_of
+
+    events = load_run(args.log)
+    text = prometheus_text(aggregate_events(events))
+    if args.prometheus:
+        with open(args.prometheus, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.prometheus}")
+    else:
+        print(text, end="")
+    meta = meta_of(events)
+    alerts = [ev for ev in events
+              if ev.get("type") == "event" and ev.get("name") == "alert"]
+    print(f"# run '{meta.get('run')}': {len(alerts)} alert(s)")
+    for ev in alerts:
+        print(f"#   [{ev.get('kind')}] window {ev.get('window')} "
+              f"{ev.get('signal')}/{ev.get('detector')}: {ev.get('message')}")
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.monitor import QualityMonitor, TraceReplay
+    from repro.telemetry import recording
+
+    replay = TraceReplay.from_log(args.log)
+    monitor = QualityMonitor() if args.monitor or args.alerts_out else None
+    callbacks = [monitor] if monitor else None
+    print(f"replaying {len(replay.arrivals)} arrivals "
+          f"({len(replay.outages)} outage(s)) from {args.log} ...")
+    with recording(mode=args.telemetry, run="serve-replay",
+                   meta={"serve": replay.params, "replay_of": str(args.log)}):
+        stats = replay.replay(callbacks=callbacks)
+    print(stats.summary())
+    if monitor is not None:
+        summary = monitor.summary()
+        print(f"monitor: {summary['alerts']} alerts over "
+              f"{summary['windows_seen']} windows")
+    if args.alerts_out and monitor is not None:
+        with open(args.alerts_out, "w") as fh:
+            for entry in monitor.alert_log():
+                fh.write(json.dumps(entry, sort_keys=True) + "\n")
+        print(f"wrote {args.alerts_out} ({len(monitor.alerts)} alert(s))")
+    problems = replay.verify(stats)
+    if problems:
+        print("replay verification FAILED:", file=sys.stderr)
+        for p in problems:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print("replay verified: counters and conservation identity match the log")
     return 0
 
 
@@ -275,6 +371,8 @@ def main(argv: "list[str] | None" = None) -> int:
         "trace": _cmd_trace,
         "demo": _cmd_demo,
         "serve": _cmd_serve,
+        "monitor": _cmd_monitor,
+        "replay": _cmd_replay,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,86 @@
+"""Render a telemetry aggregate in Prometheus text exposition format.
+
+Takes the canonical aggregate dict — either ``Recorder.aggregate()``
+from a live run or ``telemetry.jsonl.aggregate_events(load_run(path))``
+from a JSONL log — and renders version 0.0.4 text exposition:
+
+- counters  → ``<name>_total``
+- gauges    → ``<name>``
+- histograms→ cumulative ``<name>_bucket{le="..."}`` series plus
+  ``_sum``/``_count`` (the recorder's buckets already use Prometheus
+  ``le`` upper-bound semantics, so this is a pure re-labelling)
+- spans     → ``<name>_seconds_total`` / ``<name>_calls_total`` /
+  ``<name>_errors_total``
+
+Metric names are sanitized to the Prometheus grammar
+(``serve/solve_iterations`` → ``repro_serve_solve_iterations``).  The
+output is deterministic: sections and series are emitted in sorted
+order, so snapshot files diff cleanly between runs.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["prometheus_text", "sanitize_name"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_name(name: str, prefix: str = "repro") -> str:
+    """Map an internal metric path onto a legal Prometheus metric name."""
+    flat = _NAME_RE.sub("_", name.strip("/"))
+    flat = re.sub(r"_+", "_", flat).strip("_")
+    if not flat:
+        raise ValueError(f"metric name {name!r} sanitizes to nothing")
+    out = f"{prefix}_{flat}" if prefix else flat
+    if re.match(r"^[0-9]", out):
+        out = f"_{out}"
+    return out
+
+
+def _fmt(value: float) -> str:
+    """Prometheus float formatting: integers stay integral, +Inf spelled."""
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(aggregate: dict, *, prefix: str = "repro") -> str:
+    """The aggregate as a Prometheus text-format exposition page."""
+    lines: "list[str]" = []
+
+    for name, state in sorted(aggregate.get("counters", {}).items()):
+        metric = sanitize_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(state['value'])}")
+
+    for name, state in sorted(aggregate.get("gauges", {}).items()):
+        metric = sanitize_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(state['value'])}")
+
+    for name, state in sorted(aggregate.get("histograms", {}).items()):
+        metric = sanitize_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cum = 0
+        bounds = list(state["bounds"]) + [float("inf")]
+        for bound, count in zip(bounds, state["counts"]):
+            cum += count
+            lines.append(f'{metric}_bucket{{le="{_fmt(bound)}"}} {cum}')
+        lines.append(f"{metric}_sum {_fmt(state['sum'])}")
+        lines.append(f"{metric}_count {state['count']}")
+
+    for name, state in sorted(aggregate.get("spans", {}).items()):
+        metric = sanitize_name(name, prefix)
+        lines.append(f"# TYPE {metric}_seconds_total counter")
+        lines.append(f"{metric}_seconds_total {_fmt(state['total_s'])}")
+        lines.append(f"# TYPE {metric}_calls_total counter")
+        lines.append(f"{metric}_calls_total {state['calls']}")
+        if state.get("errors"):
+            lines.append(f"# TYPE {metric}_errors_total counter")
+            lines.append(f"{metric}_errors_total {state['errors']}")
+
+    return "\n".join(lines) + "\n" if lines else ""

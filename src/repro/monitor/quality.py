@@ -1,0 +1,301 @@
+"""The online quality monitor: one ServeCallback composing the pieces.
+
+:class:`QualityMonitor` plugs into :class:`repro.serve.Dispatcher` via
+the callback protocol (``Dispatcher(..., callbacks=[monitor])``) and,
+per dispatched window:
+
+1. feeds per-task prediction-error signals into drift banks
+   (:mod:`repro.monitor.drift`) — relative execution-time error and
+   signed reliability calibration error, plus the sampled decision
+   regret from (2);
+2. runs hindsight regret attribution on sampled windows
+   (:mod:`repro.monitor.attribution`), recording the prediction-gap /
+   rounding-slack split into telemetry histograms;
+3. evaluates SLO rules (:mod:`repro.monitor.slo`) on window counts:
+   wait-bound misses, shed tasks, reliability-constraint violations.
+
+Alerts are plain dataclasses collected on the monitor *and* emitted as
+structured ``alert`` telemetry events, so a JSONL run log doubles as an
+alert log.  When any drift bank fires outside the cooldown window the
+monitor raises a single ``retrain_suggested`` alert — the signal the
+ROADMAP's async retraining loop consumes.
+
+Everything the monitor computes is a pure function of the snapshot
+stream (simulated time only), so a monitored run and its trace replay
+produce identical alert sequences.  The monitor never mutates the
+dispatcher: observing a run must not change it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.matching.relaxed import SolverConfig
+from repro.monitor.attribution import RegretAttributor
+from repro.monitor.drift import Cusum, DriftBank, PageHinkley, QuantileWindow
+from repro.monitor.slo import SLOMonitor, SLORule
+from repro.serve.dispatcher import ServeCallback, ServeStats, WindowSnapshot
+from repro.telemetry import get_recorder
+from repro.telemetry.metrics import TIME_BUCKETS_S
+
+__all__ = ["Alert", "MonitorConfig", "QualityMonitor", "DEFAULT_SLOS"]
+
+#: Regret/error values are small per-task hour quantities; reuse the
+#: telemetry time buckets (they span 1e-4 .. 1e2 with log spacing).
+_GAP_BUCKETS = TIME_BUCKETS_S
+
+DEFAULT_SLOS: "tuple[SLORule, ...]" = (
+    # At most 10% of tasks may wait longer than the wait bound.
+    SLORule(name="wait", objective=0.10),
+    # At most 5% of arrivals may be shed.
+    SLORule(name="shed", objective=0.05),
+    # At most 5% of windows may violate the reliability constraint.
+    SLORule(name="reliability", objective=0.05),
+)
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One structured monitor alert (also emitted as telemetry event)."""
+
+    window: int
+    time: float  # simulated platform hour
+    kind: str  # "drift" | "slo" | "retrain_suggested" | "conservation"
+    signal: str  # which stream/rule produced it
+    detector: str  # detector/rule instance name
+    value: float  # the statistic that crossed
+    message: str
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Knobs for :class:`QualityMonitor`; defaults fit micro-batch runs."""
+
+    #: Hindsight re-solve every N-th window (1 = every window).
+    sample_every: int = 8
+    #: Exact branch-and-bound bound for windows with at most this many
+    #: tasks (0 disables the exact solve).
+    exact_max_tasks: int = 0
+    #: Solver for hindsight re-solves; ``None`` = attributor default.
+    solver_config: "SolverConfig | None" = None
+    #: Wait-SLO bad-event bound, in platform hours.
+    wait_bound_hours: float = 2.0
+    #: Suppress further ``retrain_suggested`` alerts for this many
+    #: windows after one fires (drift on several signals at once should
+    #: page once, not once per detector).
+    cooldown_windows: int = 50
+    #: SLO rules; replace to customize objectives/windows.
+    slos: "tuple[SLORule, ...]" = DEFAULT_SLOS
+    #: Drift detector knobs for the time-error bank.
+    time_delta: float = 0.05
+    time_threshold: float = 4.0
+    time_min_samples: int = 40
+    time_quantile_window: int = 64
+    #: CUSUM knobs for the reliability calibration bank.
+    reliability_drift: float = 0.08
+    reliability_threshold: float = 6.0
+    #: Page–Hinkley knobs for the sampled decision-regret bank.
+    regret_delta: float = 0.02
+    regret_threshold: float = 0.5
+    regret_min_samples: int = 5
+
+
+class QualityMonitor(ServeCallback):
+    """Drift + SLO + regret-attribution observer for the serving loop."""
+
+    def __init__(self, config: MonitorConfig | None = None) -> None:
+        self.config = cfg = config or MonitorConfig()
+        self.attributor = RegretAttributor(
+            sample_every=cfg.sample_every,
+            solver_config=cfg.solver_config,
+            exact_max_tasks=cfg.exact_max_tasks,
+        )
+        self.banks = {
+            "time_error": DriftBank("time_error", {
+                "page_hinkley": PageHinkley(
+                    delta=cfg.time_delta,
+                    threshold=cfg.time_threshold,
+                    min_samples=cfg.time_min_samples,
+                ),
+                "quantile_window": QuantileWindow(window=cfg.time_quantile_window),
+            }),
+            "reliability_error": DriftBank("reliability_error", {
+                "cusum": Cusum(
+                    drift=cfg.reliability_drift,
+                    threshold=cfg.reliability_threshold,
+                ),
+            }),
+            "decision_regret": DriftBank("decision_regret", {
+                "page_hinkley": PageHinkley(
+                    delta=cfg.regret_delta,
+                    threshold=cfg.regret_threshold,
+                    min_samples=cfg.regret_min_samples,
+                ),
+            }),
+        }
+        self.slo = SLOMonitor(list(cfg.slos))
+        self.alerts: "list[Alert]" = []
+        self.windows_seen = 0
+        self.retrain_suggested_at: "list[int]" = []
+        self._last_retrain_window: "int | None" = None
+        self._finished = False
+        self._prev_shed_total = 0
+        self._prev_arrived_total = 0
+
+    # ------------------------------------------------------------------ #
+    # alert plumbing
+
+    def _alert(self, snapshot_window: int, time: float, kind: str,
+               signal: str, detector: str, value: float, message: str) -> None:
+        alert = Alert(window=snapshot_window, time=time, kind=kind,
+                      signal=signal, detector=detector, value=float(value),
+                      message=message)
+        self.alerts.append(alert)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.counter_add(f"monitor/alerts_{kind}")
+            rec.event("alert", window=alert.window, t=alert.time,
+                      kind=alert.kind, signal=alert.signal,
+                      detector=alert.detector, value=alert.value,
+                      message=alert.message)
+
+    def _maybe_suggest_retrain(self, snapshot: WindowSnapshot,
+                               signal: str, detectors: "list[str]") -> None:
+        last = self._last_retrain_window
+        if last is not None and snapshot.window - last < self.config.cooldown_windows:
+            return
+        self._last_retrain_window = snapshot.window
+        self.retrain_suggested_at.append(snapshot.window)
+        self._alert(
+            snapshot.window, snapshot.time, "retrain_suggested", signal,
+            "+".join(detectors), float(len(detectors)),
+            f"drift on {signal} ({', '.join(detectors)}): retrain the predictor",
+        )
+
+    # ------------------------------------------------------------------ #
+    # ServeCallback protocol
+
+    def on_window(self, snapshot: WindowSnapshot) -> None:
+        self.windows_seen += 1
+        rec = get_recorder()
+
+        # --- drift signals ------------------------------------------- #
+        if snapshot.T_hat is not None:
+            assigned = np.argmax(snapshot.X, axis=0)  # cluster row per task
+            cols = np.arange(snapshot.X.shape[1])
+            placed = snapshot.X[assigned, cols] > 0  # shed-from-window guard
+            t_hat = snapshot.T_hat[assigned, cols]
+            # Relative time error vs what the cluster actually observed.
+            time_err = np.abs(t_hat - snapshot.realized_hours) / np.maximum(
+                snapshot.realized_hours, 1e-6
+            )
+            a_hat = snapshot.A_hat[assigned, cols] if snapshot.A_hat is not None else None
+            for j in cols:
+                if not placed[j]:
+                    continue
+                for name in self.banks["time_error"].update(float(time_err[j])):
+                    self._alert(
+                        snapshot.window, snapshot.time, "drift", "time_error",
+                        name, self.banks["time_error"].detectors[name].stat,
+                        "execution-time prediction error drifted",
+                    )
+                    self._maybe_suggest_retrain(snapshot, "time_error", [name])
+                if a_hat is not None:
+                    calib = float(a_hat[j]) - float(bool(snapshot.success[j]))
+                    for name in self.banks["reliability_error"].update(calib):
+                        self._alert(
+                            snapshot.window, snapshot.time, "drift",
+                            "reliability_error", name,
+                            self.banks["reliability_error"].detectors[name].stat,
+                            "reliability calibration drifted",
+                        )
+                        self._maybe_suggest_retrain(
+                            snapshot, "reliability_error", [name])
+            if rec.enabled and placed.any():
+                rec.observe("monitor/time_error",
+                            float(time_err[placed].mean()), bounds=_GAP_BUCKETS)
+
+        # --- regret attribution -------------------------------------- #
+        attribution = self.attributor.attribute(snapshot)
+        if attribution is not None:
+            if rec.enabled:
+                rec.observe("monitor/prediction_gap",
+                            max(attribution.prediction_gap, 0.0),
+                            bounds=_GAP_BUCKETS)
+                rec.observe("monitor/rounding_slack",
+                            max(attribution.rounding_slack, 0.0),
+                            bounds=_GAP_BUCKETS)
+            for name in self.banks["decision_regret"].update(
+                max(attribution.prediction_gap, 0.0)
+            ):
+                self._alert(
+                    snapshot.window, snapshot.time, "drift", "decision_regret",
+                    name, self.banks["decision_regret"].detectors[name].stat,
+                    "sampled decision regret drifted",
+                )
+                self._maybe_suggest_retrain(snapshot, "decision_regret", [name])
+
+        # --- SLOs ----------------------------------------------------- #
+        waits = snapshot.wait_hours
+        k = len(snapshot.task_ids)
+        slo_obs = [
+            ("wait", int(np.sum(waits > self.config.wait_bound_hours)), k),
+            ("shed", snapshot.shed_total - self._prev_shed_total,
+             max(snapshot.arrived_total - self._prev_arrived_total, 1)),
+            ("reliability", int(snapshot.reliability_slack < 0.0), 1),
+        ]
+        self._prev_shed_total = snapshot.shed_total
+        self._prev_arrived_total = snapshot.arrived_total
+        for name, bad, total in slo_obs:
+            if self.slo.observe(name, bad, total):
+                status = self.slo.status[name]
+                self._alert(
+                    snapshot.window, snapshot.time, "slo", name, "burn_rate",
+                    status.fast_burn,
+                    f"SLO '{name}' burning at {status.fast_burn:.1f}x budget",
+                )
+
+    def on_finish(self, stats: ServeStats) -> None:
+        self._finished = True
+        if not stats.conserved:
+            lost = stats.arrived - (
+                stats.completed + stats.failed + stats.shed + stats.unserved
+            )
+            self._alert(
+                stats.windows, 0.0, "conservation", "serve_stats",
+                "identity", float(lost),
+                f"task conservation violated: {lost} tasks unaccounted for",
+            )
+        rec = get_recorder()
+        if rec.enabled:
+            rec.gauge_set("monitor/windows_seen", self.windows_seen)
+            rec.gauge_set("monitor/alerts_total", len(self.alerts))
+
+    # ------------------------------------------------------------------ #
+
+    def alert_log(self) -> "list[dict]":
+        """Alerts as plain dicts (JSON-serializable, file order)."""
+        return [
+            {"window": a.window, "t": a.time, "kind": a.kind,
+             "signal": a.signal, "detector": a.detector,
+             "value": a.value, "message": a.message}
+            for a in self.alerts
+        ]
+
+    def summary(self) -> dict:
+        """One dict describing everything the monitor saw."""
+        return {
+            "windows_seen": self.windows_seen,
+            "finished": self._finished,
+            "alerts": len(self.alerts),
+            "alerts_by_kind": {
+                kind: sum(1 for a in self.alerts if a.kind == kind)
+                for kind in sorted({a.kind for a in self.alerts})
+            },
+            "retrain_suggested_at": list(self.retrain_suggested_at),
+            "drift": {name: bank.state() for name, bank in self.banks.items()},
+            "slo": self.slo.state(),
+            "attribution": self.attributor.summary(),
+        }

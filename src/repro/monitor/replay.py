@@ -1,0 +1,232 @@
+"""Deterministic trace replay from a JSONL serving run log.
+
+A ``repro serve run --telemetry jsonl`` run leaves three breadcrumb
+event streams in its log — ``serve/arrival`` (exact arrival hour +
+task id), ``serve/outage`` (the outage schedule) and
+``serve/run_stats`` (the final counters) — plus a ``serve`` parameter
+dict in the meta header.  Together with the repo-wide determinism
+conventions that is a *complete* description of the run:
+
+- :class:`repro.workloads.TaskPool` is a pure function of
+  ``(pool_size, seed)``, so a logged ``task_id`` inverts back to the
+  exact :class:`Task` object;
+- ``json.dumps``/``json.loads`` round-trip Python floats exactly, so
+  replayed arrival times are bit-identical to the original draw;
+- the dispatcher consumes randomness only through its own generator
+  (seeded ``seed + 4`` by the serve-seed convention), and its trace is
+  simulated-time only.
+
+:func:`build_stack` is the single constructor of the serving stack
+(pool → clusters → trained method → dispatcher config) shared by the
+``repro serve run`` CLI path and :class:`TraceReplay` — replays match
+the original run by construction, not by parallel reimplementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.serve.dispatcher import (
+    Dispatcher,
+    DispatcherConfig,
+    Outage,
+    ServeCallback,
+    ServeStats,
+)
+from repro.telemetry.jsonl import load_run, meta_of
+from repro.workloads.taskpool import Task, TaskPool
+
+__all__ = ["serve_params", "build_stack", "ReplayStream", "TraceReplay"]
+
+#: Fields checked by :meth:`TraceReplay.verify`, mirroring the
+#: ``serve/run_stats`` breadcrumb the dispatcher emits at end of run.
+RUN_STAT_FIELDS = (
+    "arrived", "matched", "completed", "failed", "shed", "requeued",
+    "unserved", "windows", "swaps", "max_queue_depth",
+)
+
+
+def serve_params(
+    *,
+    setting: str = "A",
+    pool_size: int = 64,
+    seed: int = 0,
+    train_epochs: int = 120,
+    solver_tol: float = 1e-4,
+    solver_max_iters: int = 400,
+    max_batch: int = 16,
+    max_wait_hours: float = 0.25,
+    queue_capacity: int = 128,
+    shed_policy: str = "reject",
+    warm_start: bool = True,
+) -> dict:
+    """The JSON-serializable parameter dict a serve run stores in its
+    telemetry meta header (``meta["serve"]``) for later replay."""
+    return {
+        "setting": setting,
+        "pool_size": pool_size,
+        "seed": seed,
+        "train_epochs": train_epochs,
+        "solver_tol": solver_tol,
+        "solver_max_iters": solver_max_iters,
+        "max_batch": max_batch,
+        "max_wait_hours": max_wait_hours,
+        "queue_capacity": queue_capacity,
+        "shed_policy": shed_policy,
+        "warm_start": warm_start,
+    }
+
+
+def build_stack(params: dict):
+    """Construct the serving stack a parameter dict describes.
+
+    Returns ``(pool, clusters, method, spec, config)`` — everything a
+    :class:`Dispatcher` needs except the arrival stream.  Follows the
+    serve-seed convention exactly: pool on ``seed``, train/test split on
+    ``seed + 1``, fit context on ``seed + 2`` (the load generator uses
+    ``seed + 3`` and the dispatcher ``seed + 4``).
+    """
+    from repro.clusters import make_setting
+    from repro.matching.relaxed import SolverConfig
+    from repro.methods import TSM, FitContext, MatchSpec
+    from repro.predictors.training import TrainConfig
+
+    seed = int(params["seed"])
+    pool = TaskPool(int(params["pool_size"]), rng=seed)
+    clusters = make_setting(params["setting"])
+    train_tasks, _ = pool.split(0.6, rng=seed + 1)
+    spec = MatchSpec(solver=SolverConfig(
+        tol=float(params["solver_tol"]),
+        max_iters=int(params["solver_max_iters"]),
+    ))
+    ctx = FitContext.build(clusters, train_tasks, spec, rng=seed + 2)
+    method = TSM(
+        train_config=TrainConfig(epochs=int(params["train_epochs"]))
+    ).fit(ctx)
+    warm = bool(params["warm_start"])
+    config = DispatcherConfig(
+        max_batch=int(params["max_batch"]),
+        max_wait_hours=float(params["max_wait_hours"]),
+        queue_capacity=int(params["queue_capacity"]),
+        shed_policy=params["shed_policy"],
+        warm_start=warm,
+        memoize_predictions=warm,
+    )
+    return pool, clusters, method, spec, config
+
+
+@dataclass(frozen=True)
+class ReplayStream:
+    """A logged arrival sequence as an :class:`repro.sim.ArrivalStream`.
+
+    ``draw`` replays the recorded ``(hour, task)`` pairs verbatim — the
+    generator argument is accepted for protocol compatibility and
+    ignored, and arrivals beyond ``horizon_hours`` are clipped.
+    """
+
+    arrivals: "tuple[tuple[float, Task], ...]"
+
+    def draw(self, horizon_hours: float, rng=None) -> "list[tuple[float, Task]]":
+        return [(t, task) for t, task in self.arrivals if t <= horizon_hours]
+
+
+class TraceReplay:
+    """Reconstruct and re-drive one serving run from its JSONL log."""
+
+    def __init__(self, params: dict, arrivals: "list[tuple[float, int]]",
+                 outages: "list[Outage]", run_stats: "dict | None",
+                 meta: "dict | None" = None) -> None:
+        self.params = dict(params)
+        self.arrivals = list(arrivals)  # (hour, task_id) in log order
+        self.outages = list(outages)
+        self.run_stats = dict(run_stats) if run_stats else None
+        self.meta = dict(meta or {})
+        self._swaps = []
+
+    @classmethod
+    def from_log(cls, path: "str | Path") -> "TraceReplay":
+        """Parse a run log; raises ``ValueError`` when it is not replayable."""
+        events = load_run(path)
+        meta = meta_of(events)
+        params = meta.get("serve")
+        if not isinstance(params, dict):
+            raise ValueError(
+                f"{path}: meta header has no 'serve' parameter dict — "
+                "was this log written by 'repro serve run --telemetry jsonl'?"
+            )
+        missing = [k for k in serve_params() if k not in params]
+        if missing:
+            raise ValueError(f"{path}: serve params missing {missing}")
+        arrivals: "list[tuple[float, int]]" = []
+        outages: "list[Outage]" = []
+        run_stats = None
+        swaps = []
+        for ev in events:
+            if ev.get("type") != "event":
+                continue
+            name = ev.get("name")
+            if name == "serve/arrival":
+                arrivals.append((float(ev["t"]), int(ev["task_id"])))
+            elif name == "serve/outage":
+                outages.append(Outage(cluster_id=int(ev["cluster_id"]),
+                                      start=float(ev["start"]),
+                                      end=float(ev["end"])))
+            elif name == "serve/run_stats":
+                run_stats = {k: ev[k] for k in RUN_STAT_FIELDS if k in ev}
+            elif name == "serve/hot_swap":
+                swaps.append(ev)
+        if not arrivals:
+            raise ValueError(f"{path}: no serve/arrival events — nothing to replay")
+        replay = cls(params, arrivals, outages, run_stats, meta)
+        replay._swaps = swaps
+        return replay
+
+    # ------------------------------------------------------------------ #
+
+    def stream(self, pool: TaskPool) -> ReplayStream:
+        """The logged arrivals resolved against a reconstructed pool."""
+        return ReplayStream(tuple((t, pool[tid]) for t, tid in self.arrivals))
+
+    def replay(
+        self,
+        *,
+        callbacks: "list[ServeCallback] | None" = None,
+        stack=None,
+    ) -> ServeStats:
+        """Re-drive the dispatcher over the logged arrivals.
+
+        ``stack`` accepts a prebuilt :func:`build_stack` result so tests
+        replaying one log several times train the predictor once.
+        """
+        if self._swaps:
+            raise ValueError(
+                "log contains serve/hot_swap events; replaying hot-swaps needs "
+                "the original checkpoint registry, which the log does not carry"
+            )
+        pool, clusters, method, spec, config = stack or build_stack(self.params)
+        events = self.stream(pool).draw(float("inf"))
+        dispatcher = Dispatcher(clusters, method, spec, config,
+                                callbacks=callbacks)
+        return dispatcher.run(events, rng=int(self.params["seed"]) + 4,
+                              outages=self.outages or None)
+
+    def verify(self, stats: ServeStats) -> "list[str]":
+        """Mismatches between a replay's stats and the logged run's.
+
+        Empty list = the replay reproduced the original run's counters
+        and the conservation identity exactly.
+        """
+        problems: "list[str]" = []
+        if not stats.conserved:
+            problems.append("conservation identity violated in replay")
+        if self.run_stats is None:
+            problems.append("log has no serve/run_stats event to verify against")
+            return problems
+        for name in RUN_STAT_FIELDS:
+            if name not in self.run_stats:
+                continue
+            got, want = getattr(stats, name), self.run_stats[name]
+            if got != want:
+                problems.append(f"{name}: replay {got} != logged {want}")
+        return problems

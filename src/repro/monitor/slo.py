@@ -1,0 +1,123 @@
+"""Declarative SLOs with burn-rate alerting over dispatch windows.
+
+An :class:`SLORule` states an objective ("at most 5% of tasks wait more
+than 2 hours") and the monitor tracks the *bad fraction* over two
+rolling window lengths — a fast window that reacts within a few
+dispatch windows and a slow window that filters one-off spikes.  The
+burn rate is ``bad_fraction / objective``; an alert fires on the rising
+edge when **both** windows burn above ``burn_threshold``, the standard
+multi-window multi-burn-rate pattern (it pages for sustained budget
+burn, not for a single bad batch).
+
+Measurements arrive per dispatch window as a ``(bad, total)`` count
+pair, so rules compose over any per-task predicate (wait above bound,
+task shed, reliability constraint violated) without the monitor keeping
+raw samples around.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["SLORule", "SLOStatus", "SLOMonitor"]
+
+
+@dataclass(frozen=True)
+class SLORule:
+    """One service-level objective over a per-task bad-event predicate."""
+
+    name: str
+    #: Allowed long-run bad fraction (the error budget), in (0, 1).
+    objective: float
+    #: Rolling lengths in *dispatch windows*, fast < slow.
+    fast_windows: int = 6
+    slow_windows: int = 30
+    #: Alert when both rolling burn rates exceed this multiple of budget.
+    burn_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(f"{self.name}: objective must be in (0, 1)")
+        if not 0 < self.fast_windows <= self.slow_windows:
+            raise ValueError(f"{self.name}: need 0 < fast_windows <= slow_windows")
+        if self.burn_threshold <= 0:
+            raise ValueError(f"{self.name}: burn_threshold must be > 0")
+
+
+@dataclass
+class SLOStatus:
+    """Rolling state of one rule (window counts plus current burn)."""
+
+    rule: SLORule
+    fast: "deque[tuple[int, int]]" = field(default_factory=deque, repr=False)
+    slow: "deque[tuple[int, int]]" = field(default_factory=deque, repr=False)
+    breaching: bool = False  # rising-edge latch
+    alerts: int = 0
+
+    @staticmethod
+    def _burn(buf: "deque[tuple[int, int]]", objective: float) -> float:
+        total = sum(t for _, t in buf)
+        if total == 0:
+            return 0.0
+        bad = sum(b for b, _ in buf)
+        return (bad / total) / objective
+
+    @property
+    def fast_burn(self) -> float:
+        return self._burn(self.fast, self.rule.objective)
+
+    @property
+    def slow_burn(self) -> float:
+        return self._burn(self.slow, self.rule.objective)
+
+    def observe(self, bad: int, total: int) -> bool:
+        """Push one window's counts; ``True`` on a fresh breach edge."""
+        if bad < 0 or total < bad:
+            raise ValueError(f"{self.rule.name}: need 0 <= bad <= total")
+        self.fast.append((bad, total))
+        if len(self.fast) > self.rule.fast_windows:
+            self.fast.popleft()
+        self.slow.append((bad, total))
+        if len(self.slow) > self.rule.slow_windows:
+            self.slow.popleft()
+        # Cold-start gate: with fewer windows than the fast length even a
+        # single bad sample burns "infinitely"; hold alerts until the
+        # slow buffer holds at least one fast window's worth of history.
+        warmed = len(self.slow) >= self.rule.fast_windows
+        burning = warmed and (
+            self.fast_burn > self.rule.burn_threshold
+            and self.slow_burn > self.rule.burn_threshold
+        )
+        edge = burning and not self.breaching
+        self.breaching = burning
+        if edge:
+            self.alerts += 1
+        return edge
+
+    def state(self) -> dict:
+        return {
+            "name": self.rule.name,
+            "objective": self.rule.objective,
+            "fast_burn": round(self.fast_burn, 6),
+            "slow_burn": round(self.slow_burn, 6),
+            "breaching": self.breaching,
+            "alerts": self.alerts,
+        }
+
+
+class SLOMonitor:
+    """A set of named SLO rules fed window count-pairs by signal name."""
+
+    def __init__(self, rules: "list[SLORule]") -> None:
+        names = [r.name for r in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO rule names: {names}")
+        self.status = {r.name: SLOStatus(rule=r) for r in rules}
+
+    def observe(self, name: str, bad: int, total: int) -> bool:
+        """Feed one rule; ``True`` when that rule newly breaches."""
+        return self.status[name].observe(bad, total)
+
+    def state(self) -> "list[dict]":
+        return [s.state() for s in self.status.values()]

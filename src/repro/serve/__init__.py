@@ -24,8 +24,10 @@ from repro.serve.dispatcher import (
     Dispatcher,
     DispatcherConfig,
     Outage,
+    ServeCallback,
     ServeRecord,
     ServeStats,
+    WindowSnapshot,
 )
 from repro.serve.loadgen import (
     BurstyLoad,
@@ -42,6 +44,8 @@ __all__ = [
     "Outage",
     "ServeRecord",
     "ServeStats",
+    "ServeCallback",
+    "WindowSnapshot",
     "WarmStartCache",
     "PredictionMemo",
     "batch_size_bucket",

@@ -44,6 +44,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.clusters.cluster import Cluster
+from repro.matching.objectives import reliability_value
 from repro.matching.rounding import labels_from_assignment
 from repro.methods.base import BaseMethod, MatchSpec
 from repro.serve.cache import PredictionMemo, WarmStartCache, make_cache_key
@@ -57,6 +58,8 @@ __all__ = [
     "DispatcherConfig",
     "ServeRecord",
     "ServeStats",
+    "WindowSnapshot",
+    "ServeCallback",
     "Dispatcher",
 ]
 
@@ -136,6 +139,11 @@ class ServeStats:
     total_wait_hours: float = 0.0
     total_flow_hours: float = 0.0
     decide_seconds: list[float] = field(default_factory=list, repr=False)
+    #: Wall-clock seconds spent inside serve callbacks (snapshot build +
+    #: observer work); 0.0 when no callbacks are registered.  Excluded
+    #: from the canonical trace — wall clock never enters
+    #: :meth:`trace_bytes`.
+    callback_seconds: float = 0.0
     solver_iterations: list[int] = field(default_factory=list, repr=False)
     batch_sizes: list[int] = field(default_factory=list, repr=False)
     cache: dict = field(default_factory=dict)
@@ -201,6 +209,74 @@ class ServeStats:
         )
 
 
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """Everything one dispatched window exposes to serving observers.
+
+    Handed to :class:`ServeCallback.on_window` right after the window's
+    jobs are scheduled.  All quantities are simulated-time (no wall
+    clock), so anything derived from a snapshot stream is replayable:
+    the same arrival log re-driven through the dispatcher yields the
+    same snapshot sequence.  Matrix rows follow ``cluster_ids`` (the
+    clusters that were up for this window); per-task arrays follow
+    ``task_ids`` (the window's batch order).
+
+    ``T_hat``/``A_hat`` are the predicted matrices the decision used —
+    ``None`` for methods with a custom ``decide`` override that never
+    predicts.  ``realized_hours`` is the *busy* time each job actually
+    occupied its cluster (execution jitter included; truncated for
+    failed jobs), i.e. what a real platform would observe, while
+    ``T``/``A`` carry the ground-truth expectations.
+    """
+
+    window: int
+    time: float  # dispatch time in platform hours
+    cluster_ids: tuple[int, ...]
+    task_ids: tuple[int, ...]
+    T: np.ndarray  # true expected times, shape (m, k)
+    A: np.ndarray  # true reliabilities, shape (m, k)
+    T_hat: "np.ndarray | None"  # predicted times (m, k) or None
+    A_hat: "np.ndarray | None"
+    X: np.ndarray  # executed binary assignment, shape (m, k)
+    gamma: float  # reliability threshold of the window's problem
+    reliability_slack: float  # g(X, A_true) - gamma of the executed matching
+    arrival: np.ndarray  # per-task arrival hour, shape (k,)
+    start: np.ndarray  # per-task execution start hour
+    end: np.ndarray  # per-task execution end hour
+    realized_hours: np.ndarray  # per-task busy time actually consumed
+    success: np.ndarray  # per-task bool outcome
+    requeues: np.ndarray  # per-task prior requeue count
+    queue_depth: int  # admission queue depth after the batch left
+    arrived_total: int  # cumulative arrivals when the window closed
+    shed_total: int  # cumulative sheds when the window closed
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.task_ids)
+
+    @property
+    def wait_hours(self) -> np.ndarray:
+        """Per-task admission-to-dispatch wait."""
+        return self.time - self.arrival
+
+
+class ServeCallback:
+    """No-op observer base for the serving loop.
+
+    The monitor layer (:mod:`repro.monitor`) subclasses this; the
+    dispatcher itself depends on nothing above :mod:`repro.serve`.  With
+    no callbacks registered the dispatcher skips snapshot construction
+    entirely — the disabled mode costs one truthiness check per window,
+    mirroring the :class:`repro.telemetry.NullRecorder` pattern.
+    """
+
+    def on_window(self, snapshot: WindowSnapshot) -> None:
+        """One micro-batch window was dispatched and scheduled."""
+
+    def on_finish(self, stats: "ServeStats") -> None:
+        """The run drained; ``stats`` is final (records sorted)."""
+
+
 @dataclass
 class _Queued:
     task: Task
@@ -236,6 +312,7 @@ class Dispatcher:
         memo: PredictionMemo | None = None,
         registry: ModelRegistry | None = None,
         swap_schedule: "dict[int, str] | None" = None,
+        callbacks: "Sequence[ServeCallback] | None" = None,
     ) -> None:
         if not clusters:
             raise ValueError("clusters must be non-empty")
@@ -257,6 +334,7 @@ class Dispatcher:
             self.memo = PredictionMemo() if memo is None else memo
         self.registry = registry
         self.swap_schedule = dict(swap_schedule or {})
+        self.callbacks: "list[ServeCallback]" = list(callbacks or ())
         # The warm-start/memo hooks only apply to methods running the
         # default predict→solve→round pipeline; custom decide() overrides
         # (e.g. Oracle) are dispatched as-is.
@@ -295,6 +373,15 @@ class Dispatcher:
             evs.append((o.end, 0, i, "up", o.cluster_id))
             evs.append((o.start, 2, i, "down", o.cluster_id))
         evs.sort(key=lambda e: (e[0], e[1], e[2]))
+
+        # Replay breadcrumbs (JSONL mode): the outage schedule up front,
+        # one event per arrival below — together with the run header they
+        # are what :class:`repro.monitor.replay.TraceReplay` inverts back
+        # into an arrival stream + outage schedule.
+        if rec.enabled:
+            for o in outages or ():
+                rec.event("serve/outage", cluster_id=o.cluster_id,
+                          start=o.start, end=o.end)
 
         queue: "deque[_Queued]" = deque()
         down: set[int] = set()
@@ -390,15 +477,19 @@ class Dispatcher:
 
             t0 = time.perf_counter()
             iters = 0
+            predictions = None
             if self._default_decide:
                 # Methods predict rows for the *full* fleet they were
                 # fitted on; with clusters down the rows must be subset to
                 # the up clusters to match the window's problem shape.
+                # Observers also need the predicted matrices, so with
+                # callbacks registered the forward pass always happens
+                # here (decide_full would otherwise run the identical
+                # predict internally — same result, just not exposed).
                 need_subset = len(ups) != len(self.clusters)
-                predictions = None
                 if self.memo is not None:
                     predictions = self.memo.predict(self.method, tasks)
-                elif need_subset:
+                elif need_subset or self.callbacks:
                     predictions = self.method.predict(tasks)
                 if predictions is not None and need_subset:
                     pos = {c.cluster_id: i for i, c in enumerate(self.clusters)}
@@ -436,6 +527,9 @@ class Dispatcher:
 
             labels = labels_from_assignment(X)
             order = np.argsort(labels, kind="stable")
+            starts = np.empty(k)
+            ends = np.empty(k)
+            successes = np.empty(k, dtype=bool)
             for j in order:
                 cluster = ups[int(labels[j])]
                 q = batch[int(j)]
@@ -449,12 +543,42 @@ class Dispatcher:
                 busy = duration if success else duration * float(rng.uniform(0.05, 0.95))
                 end = start + busy
                 free_at[cluster.cluster_id] = end
+                starts[int(j)], ends[int(j)] = start, end
+                successes[int(j)] = success
                 schedule[cluster.cluster_id].append(_Scheduled(
                     task=q.task, window=window, cluster_id=cluster.cluster_id,
                     arrival=q.arrival, dispatched=now, start=start, end=end,
                     success=success, requeues=q.requeues,
                 ))
             busy_until = now + cfg.dispatch_overhead_hours
+
+            if self.callbacks:
+                cb0 = time.perf_counter()
+                snapshot = WindowSnapshot(
+                    window=window,
+                    time=now,
+                    cluster_ids=tuple(c.cluster_id for c in ups),
+                    task_ids=tuple(t.task_id for t in tasks),
+                    T=T,
+                    A=A,
+                    T_hat=None if predictions is None else predictions[0],
+                    A_hat=None if predictions is None else predictions[1],
+                    X=X,
+                    gamma=problem.gamma,
+                    reliability_slack=reliability_value(X, problem),
+                    arrival=np.array([q.arrival for q in batch]),
+                    start=starts,
+                    end=ends,
+                    realized_hours=ends - starts,
+                    success=successes,
+                    requeues=np.array([q.requeues for q in batch]),
+                    queue_depth=len(queue),
+                    arrived_total=stats.arrived,
+                    shed_total=stats.shed,
+                )
+                for cb in self.callbacks:
+                    cb.on_window(snapshot)
+                stats.callback_seconds += time.perf_counter() - cb0
 
         def drain(t_limit: float) -> None:
             """Dispatch every window that ripens at or before ``t_limit``."""
@@ -469,6 +593,9 @@ class Dispatcher:
             drain(t)
             t_last = max(t_last, t)
             if kind == "arrive":
+                if rec.enabled:
+                    rec.event("serve/arrival", t=t,
+                              task_id=payload.task_id)  # type: ignore[union-attr]
                 admit(payload, t)  # type: ignore[arg-type]
             elif kind == "down":
                 cid = int(payload)  # type: ignore[arg-type]
@@ -523,4 +650,20 @@ class Dispatcher:
             if self.cache is not None:
                 rec.counter_add("serve/cache_hits", self.cache.hits)
                 rec.counter_add("serve/cache_misses", self.cache.misses)
+            # Scalar outcome of the whole run: what a replay must
+            # reproduce exactly (the conservation identity's terms plus
+            # the dispatch count).
+            rec.event(
+                "serve/run_stats",
+                arrived=stats.arrived, matched=stats.matched,
+                completed=stats.completed, failed=stats.failed,
+                shed=stats.shed, requeued=stats.requeued,
+                unserved=stats.unserved, windows=stats.windows,
+                swaps=stats.swaps, max_queue_depth=stats.max_queue_depth,
+            )
+        if self.callbacks:
+            cb0 = time.perf_counter()
+            for cb in self.callbacks:
+                cb.on_finish(stats)
+            stats.callback_seconds += time.perf_counter() - cb0
         return stats

@@ -33,6 +33,7 @@ from repro.telemetry.metrics import (
     Counter,
     Gauge,
     Histogram,
+    quantile,
 )
 from repro.telemetry.recorder import (
     MODES,
@@ -71,6 +72,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "quantile",
     "DEFAULT_BUCKETS",
     "ITER_BUCKETS",
     "LEVEL_BUCKETS",

@@ -18,18 +18,31 @@ __all__ = ["load_run", "aggregate_events", "meta_of"]
 
 
 def load_run(path: str | Path) -> list[dict]:
-    """All events of one run log, in file order; validates the header."""
-    events: list[dict] = []
+    """All events of one run log, in file order; validates the header.
+
+    An empty (or whitespace-only) file raises a clear ``ValueError``
+    rather than surfacing downstream ``IndexError``s.  A *trailing*
+    partial line — the signature of a run killed mid-write — is dropped
+    silently so a crashed run's log stays loadable; an invalid line
+    anywhere before the tail is still an error (that is corruption, not
+    truncation).
+    """
     with open(path) as fh:
-        for lineno, raw in enumerate(fh):
-            raw = raw.strip()
-            if not raw:
-                continue
-            try:
-                events.append(json.loads(raw))
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"{path}:{lineno + 1}: invalid JSON line") from exc
-    if not events or events[0].get("type") != "meta":
+        lines = fh.readlines()
+    payload = [(i, raw.strip()) for i, raw in enumerate(lines) if raw.strip()]
+    if not payload:
+        raise ValueError(f"{path}: empty run log (no events)")
+    events: list[dict] = []
+    for pos, (lineno, raw) in enumerate(payload):
+        try:
+            events.append(json.loads(raw))
+        except json.JSONDecodeError as exc:
+            if pos == len(payload) - 1:
+                break  # truncated tail from a crashed run: tolerate
+            raise ValueError(f"{path}:{lineno + 1}: invalid JSON line") from exc
+    if not events:
+        raise ValueError(f"{path}: empty run log (no complete events)")
+    if events[0].get("type") != "meta":
         raise ValueError(f"{path}: missing meta header line")
     schema = events[0].get("schema")
     if schema != SCHEMA_VERSION:

@@ -21,6 +21,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "quantile",
     "ITER_BUCKETS",
     "LEVEL_BUCKETS",
     "SIZE_BUCKETS",
@@ -128,3 +129,29 @@ class Histogram:
             "max": self.vmax if self.count else None,
             "calls": self.calls,
         }
+
+
+def quantile(histogram: "Histogram | dict", q: float) -> float:
+    """Upper-boundary quantile estimate from cumulative bucket counts.
+
+    Accepts a live :class:`Histogram` or its :meth:`Histogram.state` dict
+    (the form stored in JSONL ``metric`` lines and returned by
+    ``Recorder.aggregate()``/``aggregate_events``).  The estimate is the
+    upper boundary of the bucket containing the ``q``-quantile — exact to
+    bucket resolution, and the single shared implementation behind the
+    recorder's console summary, ``bench_serve.py`` and the quality
+    monitor.  Returns the observed maximum for the overflow bucket and
+    0.0 for an empty histogram.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    h = histogram.state() if isinstance(histogram, Histogram) else histogram
+    if not h["count"]:
+        return 0.0
+    target = q * h["count"]
+    cum = 0
+    for i, c in enumerate(h["counts"]):
+        cum += c
+        if cum >= target and c:
+            return h["bounds"][i] if i < len(h["bounds"]) else h["max"]
+    return h["max"]

@@ -45,7 +45,7 @@ from contextvars import ContextVar
 from pathlib import Path
 from typing import Any, Iterator, TextIO
 
-from repro.telemetry.metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram
+from repro.telemetry.metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, quantile
 from repro.telemetry.spans import NULL_SPAN, Span, _NullSpan
 
 __all__ = [
@@ -250,7 +250,7 @@ class Recorder:
                 t.add_row([
                     name, str(h["count"]), f"{h['sum'] / h['count']:.3g}",
                     f"{h['min']:.3g}", f"{h['max']:.3g}",
-                    f"{_bucket_quantile(h, 0.5):.3g}", f"{_bucket_quantile(h, 0.95):.3g}",
+                    f"{quantile(h, 0.5):.3g}", f"{quantile(h, 0.95):.3g}",
                 ])
             out.append(t.render())
         return "\n\n".join(out) if out else "(no telemetry recorded)"
@@ -293,17 +293,6 @@ class Recorder:
         if path is not None:
             print(f"telemetry run log: {path}", file=stream)
         return path
-
-
-def _bucket_quantile(h: dict, q: float) -> float:
-    """Upper-boundary quantile estimate from cumulative bucket counts."""
-    target = q * h["count"]
-    cum = 0
-    for i, c in enumerate(h["counts"]):
-        cum += c
-        if cum >= target and c:
-            return h["bounds"][i] if i < len(h["bounds"]) else h["max"]
-    return h["max"]
 
 
 # --------------------------------------------------------------------- #

@@ -1,8 +1,8 @@
 """Shared utilities: seeded RNG streams, validation, table rendering.
 
-Timing helpers moved to :mod:`repro.telemetry` (the ``span`` primitive);
-the legacy ``Timer``/``timed`` shims remain importable from
-:mod:`repro.utils.timer` only and emit a ``DeprecationWarning`` on use.
+Timing lives in :mod:`repro.telemetry` (the ``span`` primitive); the
+legacy ``repro.utils.timer`` shims were removed after a deprecation
+cycle.
 """
 
 from repro.utils.csvio import write_reports_csv, write_series_csv

@@ -25,6 +25,9 @@ MODULES = [
     "repro.predictors",
     "repro.methods",
     "repro.metrics",
+    "repro.telemetry",
+    "repro.serve",
+    "repro.monitor",
     "repro.theory",
     "repro.experiments",
     "repro.experiments.fig2",

@@ -1,0 +1,461 @@
+"""Tests for the online quality monitor (repro.monitor).
+
+Covers the full observability stack:
+
+- drift detectors (quiet on stationary streams, fire on shifts, re-arm);
+- SLO burn-rate rules (cold-start gate, rising-edge alerting);
+- regret attribution (decomposition identity, exact lower bound,
+  deterministic sampling);
+- the QualityMonitor ServeCallback (pure observer, synthetic
+  degradation fires ``retrain_suggested``, conservation check, alert
+  telemetry events);
+- Prometheus text export;
+- JSONL trace replay (byte-identical re-drive, logged-counter
+  verification, CLI round-trip through ``main()``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.monitor import (
+    Cusum,
+    DriftBank,
+    MonitorConfig,
+    PageHinkley,
+    QualityMonitor,
+    QuantileWindow,
+    RegretAttributor,
+    SLOMonitor,
+    SLORule,
+    TraceReplay,
+    build_stack,
+    prometheus_text,
+    sanitize_name,
+    serve_params,
+)
+from repro.serve import Dispatcher, PoissonLoad, ServeStats
+from repro.serve.dispatcher import WindowSnapshot
+from repro.telemetry import load_run, recording
+from repro.utils.rng import as_generator
+
+
+def _events(pool, rate=40.0, horizon=3.0, seed=3):
+    return PoissonLoad(pool, rate).draw(horizon, as_generator(seed))
+
+
+# --------------------------------------------------------------------- #
+# Drift detectors.
+# --------------------------------------------------------------------- #
+
+
+class TestDriftDetectors:
+    def test_page_hinkley_quiet_then_fires_on_shift(self):
+        rng = np.random.default_rng(0)
+        ph = PageHinkley(delta=0.05, threshold=5.0, min_samples=40)
+        quiet = [float(x) for x in np.abs(rng.normal(0.1, 0.05, 300))]
+        assert not any(ph.update(x) for x in quiet)
+        shifted = [float(x) for x in np.abs(rng.normal(1.0, 0.2, 200))]
+        fired_at = [i for i, x in enumerate(shifted) if ph.update(x)]
+        assert fired_at, "Page-Hinkley never fired on a 10x mean shift"
+        assert fired_at[0] < 50  # reacts within a few dozen samples
+
+    def test_cusum_two_sided(self):
+        down = Cusum(drift=0.02, threshold=1.0, warmup=30)
+        xs = [0.5] * 30 + [-0.5] * 50  # downward shift after warmup
+        assert any(down.update(x) for x in xs)
+        up = Cusum(drift=0.02, threshold=1.0, warmup=30)
+        xs = [0.0] * 30 + [1.0] * 50
+        assert any(up.update(x) for x in xs)
+
+    def test_quantile_window_catches_tail_blowup(self):
+        rng = np.random.default_rng(1)
+        qw = QuantileWindow(q=0.9, window=50, factor=2.5)
+        base = [float(x) for x in np.abs(rng.normal(0.1, 0.02, 300))]
+        assert not any(qw.update(x) for x in base)
+        # Mean barely moves, tail explodes: every 10th sample is huge.
+        tail = [2.0 if i % 10 == 0 else 0.1 for i in range(200)]
+        assert any(qw.update(x) for x in tail)
+
+    def test_reset_rearms(self):
+        ph = PageHinkley(min_samples=5, threshold=0.5, delta=0.0)
+        [ph.update(1.0 + i) for i in range(20)]
+        ph.reset()
+        assert ph.n == 0 and ph.stat == 0.0
+        qw = QuantileWindow(window=4)
+        [qw.update(1.0) for _ in range(10)]
+        qw.reset()
+        assert qw.stat == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+        with pytest.raises(ValueError):
+            Cusum(warmup=0)
+        with pytest.raises(ValueError):
+            QuantileWindow(q=1.0)
+        with pytest.raises(ValueError):
+            QuantileWindow(factor=1.0)
+
+    def test_bank_fires_once_per_shift_and_rearms(self):
+        bank = DriftBank("sig", {
+            "ph": PageHinkley(delta=0.0, threshold=1.0, min_samples=5),
+        })
+        hits = [bank.update(x) for x in [0.0] * 10 + [2.0] * 100]
+        fired = [i for i, h in enumerate(hits) if h]
+        # The post-fire reset re-arms against the shifted regime, so a
+        # sustained shift cannot alert on every subsequent sample.
+        assert fired
+        assert len(fired) < 10
+        assert bank.state()["samples"] == 110
+        with pytest.raises(ValueError):
+            DriftBank("sig", {})
+
+
+# --------------------------------------------------------------------- #
+# SLO burn-rate rules.
+# --------------------------------------------------------------------- #
+
+
+class TestSLO:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLORule(name="x", objective=0.0)
+        with pytest.raises(ValueError):
+            SLORule(name="x", objective=0.1, fast_windows=10, slow_windows=5)
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOMonitor([SLORule(name="a", objective=0.1),
+                        SLORule(name="a", objective=0.2)])
+
+    def test_cold_start_gate_holds_alerts(self):
+        mon = SLOMonitor([SLORule(name="r", objective=0.05,
+                                  fast_windows=4, slow_windows=8)])
+        # All-bad windows, but fewer than fast_windows seen: no alert yet.
+        assert not mon.observe("r", 1, 1)
+        assert not mon.observe("r", 1, 1)
+        assert not mon.observe("r", 1, 1)
+        assert mon.observe("r", 1, 1)  # 4th window: warmed and burning
+
+    def test_rising_edge_only(self):
+        mon = SLOMonitor([SLORule(name="r", objective=0.1,
+                                  fast_windows=2, slow_windows=4,
+                                  burn_threshold=2.0)])
+        for _ in range(6):
+            mon.observe("r", 0, 10)  # healthy history
+        assert mon.observe("r", 10, 10)  # breach edge
+        assert not mon.observe("r", 10, 10)  # still breaching: latched
+        for _ in range(4):
+            mon.observe("r", 0, 10)  # recover
+        assert not mon.status["r"].breaching
+        assert mon.observe("r", 10, 10)  # second edge alerts again
+        assert mon.status["r"].alerts == 2
+
+    def test_counts_validated(self):
+        mon = SLOMonitor([SLORule(name="r", objective=0.1)])
+        with pytest.raises(ValueError):
+            mon.observe("r", 3, 2)
+
+
+# --------------------------------------------------------------------- #
+# Regret attribution.
+# --------------------------------------------------------------------- #
+
+
+def _snapshot(window, T, A, T_hat, A_hat, X, *, realized=None, success=None,
+              time=1.0, gamma=0.2):
+    m, k = T.shape
+    realized = np.asarray(realized if realized is not None
+                          else T[np.argmax(X, axis=0), np.arange(k)])
+    success = np.asarray(success if success is not None else [True] * k)
+    slack = float((X * A).sum() / (m * k) - gamma)
+    return WindowSnapshot(
+        window=window, time=time, cluster_ids=tuple(range(m)),
+        task_ids=tuple(range(k)), T=T, A=A, T_hat=T_hat, A_hat=A_hat, X=X,
+        gamma=gamma, reliability_slack=slack,
+        arrival=np.full(k, max(time - 0.1, 0.0)), start=np.full(k, time),
+        end=np.full(k, time) + realized, realized_hours=realized,
+        success=success, requeues=np.zeros(k, dtype=int), queue_depth=0,
+        arrived_total=(window + 1) * k, shed_total=0,
+    )
+
+
+def _toy_matrices(rng, m=3, k=4, err=0.0):
+    T = rng.uniform(1.0, 4.0, size=(m, k))
+    A = rng.uniform(0.7, 0.99, size=(m, k))
+    T_hat = T * (1.0 + err * rng.standard_normal((m, k)))
+    return T, np.clip(A, 0.0, 1.0), np.abs(T_hat) + 1e-3, A
+
+
+class TestAttribution:
+    def test_decomposition_identity_and_exact_bound(self):
+        rng = np.random.default_rng(0)
+        T, A, T_hat, A_hat = _toy_matrices(rng, err=0.5)
+        # A deliberately bad executed assignment: everything on cluster 0.
+        X = np.zeros_like(T)
+        X[0, :] = 1.0
+        attributor = RegretAttributor(sample_every=1, exact_max_tasks=6)
+        out = attributor.attribute(_snapshot(0, T, A, T_hat, A_hat, X))
+        assert out is not None
+        assert out.total_gap == pytest.approx(
+            out.prediction_gap + out.rounding_slack)
+        assert out.total_gap == pytest.approx(
+            (out.cost_executed - out.cost_fractional) / out.n_tasks)
+        # Piling every task on one cluster must cost real makespan.
+        assert out.prediction_gap > 0.0
+        # The exact optimum lower-bounds the rounded oracle.
+        assert out.cost_exact is not None
+        assert out.cost_exact <= out.cost_oracle + 1e-9
+        assert out.exact_slack >= -1e-9
+
+    def test_sampling_is_deterministic_end_of_block(self):
+        attributor = RegretAttributor(sample_every=5)
+        assert [w for w in range(20) if attributor.wants(w)] == [4, 9, 14, 19]
+        every = RegretAttributor(sample_every=1)
+        assert all(every.wants(w) for w in range(5))
+
+    def test_unsampled_window_returns_none(self):
+        rng = np.random.default_rng(1)
+        T, A, T_hat, A_hat = _toy_matrices(rng)
+        X = np.eye(3, 4)
+        attributor = RegretAttributor(sample_every=10)
+        assert attributor.attribute(_snapshot(0, T, A, T_hat, A_hat, X)) is None
+        assert attributor.summary() == {"sampled": 0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegretAttributor(sample_every=0)
+        with pytest.raises(ValueError):
+            RegretAttributor(exact_max_tasks=-1)
+
+
+# --------------------------------------------------------------------- #
+# QualityMonitor.
+# --------------------------------------------------------------------- #
+
+
+def _feed(monitor, *, n_windows, err, rng, success_rate=1.0):
+    """Drive a monitor with synthetic snapshots at a given error level."""
+    for w in range(monitor.windows_seen, monitor.windows_seen + n_windows):
+        T, A, T_hat, A_hat = _toy_matrices(rng, err=err)
+        X = np.zeros_like(T)
+        X[np.argmin(T_hat, axis=0), np.arange(T.shape[1])] = 1.0
+        success = rng.random(T.shape[1]) < success_rate
+        monitor.on_window(_snapshot(w, T, A, T_hat, A_hat, X,
+                                    success=success, time=0.1 * (w + 1)))
+
+
+class TestQualityMonitor:
+    def test_stationary_run_raises_no_drift_alerts(self):
+        monitor = QualityMonitor()
+        _feed(monitor, n_windows=80, err=0.02, rng=np.random.default_rng(0))
+        kinds = {a.kind for a in monitor.alerts}
+        assert "drift" not in kinds
+        assert "retrain_suggested" not in kinds
+        assert monitor.summary()["windows_seen"] == 80
+
+    def test_synthetic_degradation_fires_retrain_suggested(self):
+        monitor = QualityMonitor()
+        rng = np.random.default_rng(0)
+        _feed(monitor, n_windows=40, err=0.02, rng=rng)
+        assert not monitor.retrain_suggested_at
+        _feed(monitor, n_windows=40, err=1.5, rng=rng)
+        assert monitor.retrain_suggested_at, "degradation never suggested retrain"
+        assert any(a.kind == "drift" for a in monitor.alerts)
+
+    def test_retrain_cooldown_suppresses_duplicates(self):
+        monitor = QualityMonitor(MonitorConfig(cooldown_windows=1000))
+        rng = np.random.default_rng(0)
+        _feed(monitor, n_windows=40, err=0.02, rng=rng)
+        _feed(monitor, n_windows=60, err=2.0, rng=rng)
+        # Several detectors fire during sustained degradation, but the
+        # cooldown admits a single retrain suggestion.
+        assert len(monitor.retrain_suggested_at) == 1
+
+    def test_identical_feeds_give_identical_alert_sequences(self):
+        logs = []
+        for _ in range(2):
+            monitor = QualityMonitor()
+            rng = np.random.default_rng(7)
+            _feed(monitor, n_windows=30, err=0.02, rng=rng)
+            _feed(monitor, n_windows=30, err=1.0, rng=rng)
+            logs.append(monitor.alert_log())
+        assert logs[0] == logs[1]
+
+    def test_conservation_violation_alerts_on_finish(self):
+        monitor = QualityMonitor()
+        stats = ServeStats(arrived=10, completed=4, failed=1, shed=2, unserved=1)
+        monitor.on_finish(stats)  # 2 tasks unaccounted for
+        assert [a.kind for a in monitor.alerts] == ["conservation"]
+        assert monitor.alerts[0].value == 2.0
+
+    def test_alerts_become_telemetry_events(self, tmp_path):
+        import io
+
+        with recording(mode="jsonl", run="monitor-events", out_dir=tmp_path,
+                       stream=io.StringIO()):
+            monitor = QualityMonitor()
+            rng = np.random.default_rng(0)
+            _feed(monitor, n_windows=40, err=0.02, rng=rng)
+            _feed(monitor, n_windows=40, err=1.5, rng=rng)
+            monitor.on_finish(ServeStats())
+        events = load_run(tmp_path / "monitor-events.jsonl")
+        alert_events = [e for e in events
+                        if e.get("type") == "event" and e.get("name") == "alert"]
+        assert len(alert_events) == len(monitor.alerts)
+        assert {e["kind"] for e in alert_events} >= {"drift", "retrain_suggested"}
+
+
+# --------------------------------------------------------------------- #
+# Prometheus export.
+# --------------------------------------------------------------------- #
+
+
+class TestPrometheusExport:
+    def test_sanitize_name(self):
+        assert sanitize_name("serve/solve_iterations") == \
+            "repro_serve_solve_iterations"
+        assert sanitize_name("a b//c", prefix="") == "a_b_c"
+        assert sanitize_name("9lives", prefix="").startswith("_9")
+        with pytest.raises(ValueError):
+            sanitize_name("///")
+
+    def test_histogram_renders_cumulative_le_series(self):
+        agg = {
+            "counters": {"serve/shed": {"value": 3, "calls": 3}},
+            "gauges": {"monitor/windows_seen": {"value": 7.0, "calls": 1}},
+            "histograms": {"serve/batch_size": {
+                "bounds": [1.0, 2.0], "counts": [1, 2, 1], "count": 4,
+                "sum": 8.0, "min": 1.0, "max": 5.0, "calls": 4}},
+            "spans": {"solve": {"total_s": 0.5, "calls": 2, "errors": 1}},
+        }
+        text = prometheus_text(agg)
+        assert 'repro_serve_batch_size_bucket{le="1"} 1' in text
+        assert 'repro_serve_batch_size_bucket{le="2"} 3' in text
+        assert 'repro_serve_batch_size_bucket{le="+Inf"} 4' in text
+        assert "repro_serve_batch_size_sum 8" in text
+        assert "repro_serve_batch_size_count 4" in text
+        assert "repro_serve_shed_total 3" in text
+        assert "repro_monitor_windows_seen 7" in text
+        assert "repro_solve_seconds_total 0.5" in text
+        assert "repro_solve_errors_total 1" in text
+        assert text == prometheus_text(agg)  # deterministic
+
+    def test_empty_aggregate_renders_empty(self):
+        assert prometheus_text({}) == ""
+
+
+# --------------------------------------------------------------------- #
+# Trace replay (dispatcher integration + CLI round trip).
+# --------------------------------------------------------------------- #
+
+
+REPLAY_PARAMS = serve_params(pool_size=20, seed=0, train_epochs=5,
+                             solver_tol=1e-4, solver_max_iters=300,
+                             max_batch=12)
+
+
+@pytest.fixture(scope="module")
+def replay_stack():
+    """One trained stack reused across every replay of the same params."""
+    return build_stack(REPLAY_PARAMS)
+
+
+@pytest.fixture(scope="module")
+def run_log(tmp_path_factory, replay_stack):
+    """A real monitored serve run recorded to JSONL, ready to replay."""
+    import io
+
+    out_dir = tmp_path_factory.mktemp("telemetry")
+    pool, clusters, method, spec, cfg = replay_stack
+    events = _events(pool, rate=30.0, horizon=2.0, seed=3)
+    with recording(mode="jsonl", run="serve-run", out_dir=out_dir,
+                   meta={"serve": REPLAY_PARAMS}, stream=io.StringIO()):
+        dispatcher = Dispatcher(clusters, method, spec, cfg)
+        stats = dispatcher.run(events, rng=REPLAY_PARAMS["seed"] + 4)
+    return out_dir / "serve-run.jsonl", stats
+
+
+class TestTraceReplay:
+    def test_replay_reproduces_run_exactly(self, run_log, replay_stack):
+        path, original = run_log
+        replay = TraceReplay.from_log(path)
+        stats = replay.replay(stack=replay_stack)
+        assert replay.verify(stats) == []
+        assert stats.trace_bytes() == original.trace_bytes()
+        assert stats.conserved
+
+    def test_replay_twice_is_byte_identical_with_same_alerts(
+            self, run_log, replay_stack):
+        path, _ = run_log
+        replay = TraceReplay.from_log(path)
+        traces, alert_logs = [], []
+        for _ in range(2):
+            monitor = QualityMonitor(MonitorConfig(sample_every=2))
+            stats = replay.replay(callbacks=[monitor], stack=replay_stack)
+            traces.append(stats.trace_bytes())
+            alert_logs.append(monitor.alert_log())
+        assert traces[0] == traces[1]
+        assert alert_logs[0] == alert_logs[1]
+
+    def test_monitoring_does_not_change_the_trace(self, run_log, replay_stack):
+        path, original = run_log
+        replay = TraceReplay.from_log(path)
+        monitored = replay.replay(callbacks=[QualityMonitor()],
+                                  stack=replay_stack)
+        assert monitored.trace_bytes() == original.trace_bytes()
+        assert monitored.callback_seconds > 0.0
+        assert original.callback_seconds == 0.0
+
+    def test_verify_catches_tampered_counters(self, run_log, replay_stack):
+        path, _ = run_log
+        replay = TraceReplay.from_log(path)
+        stats = replay.replay(stack=replay_stack)
+        replay.run_stats["completed"] += 1
+        problems = replay.verify(stats)
+        assert any("completed" in p for p in problems)
+
+    def test_from_log_rejects_non_serve_logs(self, tmp_path):
+        import io
+
+        with recording(mode="jsonl", run="not-serve", out_dir=tmp_path,
+                       stream=io.StringIO()) as rec:
+            rec.event("something", x=1)
+        with pytest.raises(ValueError, match="serve"):
+            TraceReplay.from_log(tmp_path / "not-serve.jsonl")
+
+    def test_from_log_rejects_empty_arrivals(self, tmp_path):
+        import io
+
+        with recording(mode="jsonl", run="no-arrivals", out_dir=tmp_path,
+                       meta={"serve": REPLAY_PARAMS}, stream=io.StringIO()):
+            pass
+        with pytest.raises(ValueError, match="nothing to replay"):
+            TraceReplay.from_log(tmp_path / "no-arrivals.jsonl")
+
+    def test_cli_round_trip(self, tmp_path, monkeypatch, capsys):
+        """serve run --telemetry jsonl, then replay + monitor via main()."""
+        monkeypatch.chdir(tmp_path)
+        rc = main(["serve", "run", "--pool-size", "16", "--rate", "25",
+                   "--horizon", "1.5", "--train-epochs", "4",
+                   "--telemetry", "jsonl"])
+        assert rc == 0
+        log = tmp_path / "results" / "telemetry" / "serve-run.jsonl"
+        assert log.exists()
+        alerts_out = tmp_path / "alerts.jsonl"
+        rc = main(["replay", "--log", str(log),
+                   "--alerts-out", str(alerts_out)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replay verified" in out
+        assert alerts_out.exists()
+        for line in alerts_out.read_text().splitlines():
+            json.loads(line)
+        rc = main(["monitor", "--log", str(log),
+                   "--prometheus", str(tmp_path / "metrics.prom")])
+        assert rc == 0
+        prom = (tmp_path / "metrics.prom").read_text()
+        assert "repro_serve_arrived_total" in prom

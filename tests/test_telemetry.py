@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import io
 import json
 
 import numpy as np
@@ -22,6 +23,7 @@ from repro.telemetry import (
     get_recorder,
     load_run,
     meta_of,
+    quantile,
     recording,
     run_metadata,
 )
@@ -141,6 +143,29 @@ class TestInstruments:
         assert rec.aggregate()["histograms"]["x"]["bounds"] == [1.0, 2.0]
 
 
+class TestQuantile:
+    """The public histogram quantile (shared by summaries, bench, monitor)."""
+
+    def test_quantile_on_live_histogram_and_state_dict(self):
+        h = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.5, 1.5, 1.5, 3.0, 3.0, 3.0, 9.0):
+            h.observe(v)
+        # Bucket upper bounds, not exact order statistics.
+        assert quantile(h, 0.25) == 1.0
+        assert quantile(h, 0.5) == 2.0
+        assert quantile(h, 0.875) == 4.0
+        assert quantile(h, 1.0) == pytest.approx(9.0)  # overflow -> max
+        assert quantile(h.state(), 0.5) == quantile(h, 0.5)
+
+    def test_quantile_empty_and_validation(self):
+        h = Histogram("h", bounds=(1.0,))
+        assert quantile(h, 0.5) == 0.0
+        with pytest.raises(ValueError, match="quantile"):
+            quantile(h, 1.5)
+        with pytest.raises(ValueError, match="quantile"):
+            quantile(h, -0.1)
+
+
 # --------------------------------------------------------------------- #
 # Recorder lifecycle and off mode.
 # --------------------------------------------------------------------- #
@@ -252,15 +277,42 @@ class TestJsonlRoundTrip:
 
     def test_rejects_bad_logs(self, tmp_path):
         p = tmp_path / "bad.jsonl"
-        p.write_text("not json\n")
-        with pytest.raises(ValueError, match="invalid JSON"):
-            load_run(p)
         p.write_text('{"type": "span"}\n')
         with pytest.raises(ValueError, match="meta header"):
             load_run(p)
         p.write_text('{"type": "meta", "schema": 99}\n')
         with pytest.raises(ValueError, match="schema"):
             load_run(p)
+        # Corruption *before* the tail is an error, not truncation.
+        p.write_text('{"schema": 1, "type": "meta"}\nnot json\n{"type": "event"}\n')
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_run(p)
+
+    def test_empty_log_raises_clear_error(self, tmp_path):
+        p = tmp_path / "empty.jsonl"
+        p.write_text("")
+        with pytest.raises(ValueError, match="empty run log"):
+            load_run(p)
+        p.write_text("\n   \n")
+        with pytest.raises(ValueError, match="empty run log"):
+            load_run(p)
+        # A log that is *only* a partial line is empty after tolerance.
+        p.write_text('{"schema": 1, "type": "me')
+        with pytest.raises(ValueError, match="empty run log"):
+            load_run(p)
+
+    def test_trailing_partial_line_tolerated(self, tmp_path):
+        """A run killed mid-write leaves a partial last line; the rest of
+        the log must stay loadable."""
+        rec = Recorder("jsonl", run="crash", out_dir=tmp_path,
+                       stream=io.StringIO())
+        with rec.activate():
+            rec.event("alert", kind="drift", window=3)
+        path = rec.close()
+        whole = load_run(path)
+        with open(path, "a") as fh:
+            fh.write('{"type": "event", "name": "alert", "trunc')
+        assert load_run(path) == whole
 
     def test_seq_monotone_and_sorted_keys(self, tmp_path):
         import io

@@ -154,26 +154,12 @@ class TestTiming:
         assert agg["total_s"] >= 0.003
 
 
-class TestTimerShim:
-    """The legacy timer module stays importable but warns and is unexported."""
+class TestTimerRemoved:
+    """The legacy timer shim completed its deprecation cycle and is gone."""
 
-    def test_timer_section_warns_and_accumulates(self):
-        from repro.utils.timer import Timer
-
-        t = Timer()
-        with pytest.warns(DeprecationWarning, match="Timer.section is deprecated"):
-            with t.section("work"):
-                time.sleep(0.001)
-        assert t.counts["work"] == 1
-        assert t.total("work") >= 0.001
-
-    def test_timed_warns_and_records(self):
-        from repro.utils.timer import timed
-
-        with pytest.warns(DeprecationWarning, match="timed is deprecated"):
-            with timed() as out:
-                time.sleep(0.001)
-        assert out[0] >= 0.001
+    def test_timer_module_gone(self):
+        with pytest.raises(ModuleNotFoundError):
+            import repro.utils.timer  # noqa: F401
 
     def test_not_exported_from_utils(self):
         assert "Timer" not in repro.utils.__all__
