@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.clusters.registry import make_setting
+from repro.clusters.catalog import make_setting
 from repro.experiments.fig4 import fig4_methods
 from repro.experiments.runner import run_experiment
 from repro.metrics.report import comparison_table

@@ -16,7 +16,9 @@ Commands
     Run the quickstart end-to-end comparison.
 ``serve run``
     Run the online micro-batching dispatcher over a generated arrival
-    stream and print the serving summary.
+    stream and print the serving summary.  ``--retrain`` attaches the
+    closed-loop retraining controller (drift/periodic triggers, canary
+    gate, hot-swap + rollback) against a checkpoint registry.
 ``serve bench``
     Cold-vs-warm serving soak benchmark (``--smoke`` for the CI-sized
     run, ``--output`` to write a ``BENCH_serve.json``-shaped report).
@@ -25,7 +27,12 @@ Commands
     listing) from a JSONL telemetry run log.
 ``replay``
     Deterministically re-drive a serving run from its JSONL log and
-    verify the replay against the logged final counters.
+    verify the replay against the logged final counters (including the
+    hot-swap digest sequence for retrain-enabled runs).
+``retrain``
+    Offline closed-loop retraining: re-drive a logged run with the
+    retraining controller attached and persist the resulting checkpoint
+    lineage to a registry directory.
 """
 
 from __future__ import annotations
@@ -102,6 +109,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--monitor", action="store_true",
                        help="attach the online quality monitor "
                             "(drift + SLO + regret attribution)")
+    p_run.add_argument("--alerts-out", default=None, metavar="PATH",
+                       help="tail monitor alerts to this JSONL file as they "
+                            "fire (implies --monitor)")
+    p_run.add_argument("--retrain", action="store_true",
+                       help="attach the closed-loop retraining controller "
+                            "(label harvest, canary-gated refits, hot-swap)")
+    p_run.add_argument("--retrain-mode", choices=["incremental", "full"],
+                       default="incremental",
+                       help="warm-started or from-scratch candidate refits")
+    p_run.add_argument("--retrain-trigger",
+                       choices=["drift", "periodic", "both"], default="drift",
+                       help="what arms a refit (drift wires the monitor's "
+                            "retrain_suggested alerts to the controller)")
+    p_run.add_argument("--retrain-period", type=int, default=0, metavar="N",
+                       help="periodic trigger cadence in dispatch windows "
+                            "(required for --retrain-trigger periodic/both)")
+    p_run.add_argument("--registry", default=None, metavar="DIR",
+                       help="checkpoint registry directory (required with "
+                            "--retrain; use a fresh directory for replayable "
+                            "runs)")
     p_run.add_argument("--telemetry", choices=["off", "summary", "jsonl"],
                        default="summary")
 
@@ -132,6 +159,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("--telemetry", choices=["off", "summary", "jsonl"],
                           default="off",
                           help="record the replay itself (run 'serve-replay')")
+
+    p_retrain = sub.add_parser(
+        "retrain",
+        help="offline closed-loop retraining over a logged serving run")
+    p_retrain.add_argument("--log", required=True, metavar="PATH",
+                           help="run log written by "
+                                "'repro serve run --telemetry jsonl'")
+    p_retrain.add_argument("--registry", required=True, metavar="DIR",
+                           help="checkpoint registry directory to populate "
+                                "(should be empty)")
+    p_retrain.add_argument("--mode", choices=["incremental", "full"],
+                           default="incremental")
+    p_retrain.add_argument("--period", type=int, default=8, metavar="N",
+                           help="periodic refit cadence in dispatch windows")
+    p_retrain.add_argument("--epochs", type=int, default=40,
+                           help="refit epochs over the sampled labels")
     return parser
 
 
@@ -259,12 +302,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
     # serve run
-    from repro.monitor import QualityMonitor, build_stack, serve_params
-    from repro.serve import Dispatcher, make_load
+    from repro.serve import ServeConfig, build_platform
     from repro.telemetry import recording
     from repro.utils.rng import as_generator
 
-    params = serve_params(
+    monitor_cfg = retrain_cfg = None
+    if args.monitor or args.alerts_out:
+        from repro.monitor import MonitorConfig
+
+        monitor_cfg = MonitorConfig()
+    if args.retrain:
+        from repro.retrain import RetrainConfig
+
+        if args.registry is None:
+            print("--retrain requires --registry DIR", file=sys.stderr)
+            return 2
+        try:
+            retrain_cfg = RetrainConfig(
+                trigger=args.retrain_trigger,
+                period_windows=args.retrain_period,
+                mode=args.retrain_mode,
+                seed=args.seed,
+            )
+        except ValueError as exc:
+            print(f"invalid retrain flags: {exc}", file=sys.stderr)
+            return 2
+    config = ServeConfig(
         setting=args.setting,
         pool_size=args.pool_size,
         seed=args.seed,
@@ -274,27 +337,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         shed_policy=args.shed_policy,
         warm_start=not args.no_warm_start,
+        monitor=monitor_cfg,
+        retrain=retrain_cfg,
+        registry_root=args.registry if args.retrain else None,
     )
     print(f"training TSM predictors ({args.train_epochs} epochs) ...")
-    pool, clusters, method, spec, cfg = build_stack(params)
-    events = make_load(args.pattern, pool, args.rate).draw(
+    platform = build_platform(config)
+    if platform.registry is not None and len(platform.registry) > 1:
+        print(f"note: registry {args.registry} was not empty; version numbers "
+              "continue the existing sequence (replay assumes a fresh registry)")
+    if args.alerts_out and platform.monitor is not None:
+        from repro.monitor import FileTailSink
+
+        platform.monitor.add_sink(FileTailSink(args.alerts_out))
+    events = platform.load(args.pattern, args.rate).draw(
         args.horizon, as_generator(args.seed + 3)
     )
-    monitor = QualityMonitor() if args.monitor else None
-    callbacks = [monitor] if monitor else None
-    # The meta["serve"] dict plus the serve/arrival and serve/outage
-    # breadcrumbs make a jsonl log fully replayable (``repro replay``).
+    # The meta["serve"] config plus the serve/arrival, serve/outage and
+    # serve/hot_swap breadcrumbs make a jsonl log fully replayable
+    # (``repro replay``), retrain-driven swaps included.
     with recording(mode=args.telemetry, run="serve-run",
-                   meta={"serve": params}):
-        dispatcher = Dispatcher(clusters, method, spec, cfg,
-                                callbacks=callbacks)
-        stats = dispatcher.run(events, rng=args.seed + 4)
+                   meta={"serve": config.to_params()}):
+        stats = platform.run(events)
     print(f"{len(events)} arrivals over {args.horizon:g}h ({args.pattern})")
     print(stats.summary())
     if stats.solver_iterations:
         print(f"mean solver iterations/window: {stats.mean_solver_iterations:.1f}")
     if stats.cache:
         print(f"warm-start cache: {stats.cache}")
+    monitor = platform.monitor
     if monitor is not None:
         summary = monitor.summary()
         print(f"monitor: {summary['alerts']} alerts over "
@@ -303,7 +374,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         for alert in monitor.alerts:
             print(f"  [{alert.kind}] window {alert.window} t={alert.time:.2f}h "
                   f"{alert.signal}/{alert.detector}: {alert.message}")
+        if args.alerts_out:
+            print(f"alerts tailed to {args.alerts_out}")
+    if platform.controller is not None:
+        _print_retrain_outcome(platform.controller, platform.registry, stats)
     return 0
+
+
+def _print_retrain_outcome(controller, registry, stats) -> None:
+    print(f"retrain: buffer {controller.buffer.stats()}")
+    for ev in controller.events:
+        kind = ev["kind"]
+        if kind == "triggered":
+            print(f"  window {ev['window']}: refit triggered ({ev['reason']}; "
+                  f"{ev['n_train']} train / {ev['n_holdout']} holdout labels)")
+        elif kind == "promoted":
+            print(f"  window {ev['window']}: canary PASS -> {ev['version']} "
+                  f"promoted (parent {ev['parent']})")
+        elif kind == "rejected":
+            print(f"  window {ev['window']}: canary FAIL -> {ev['version']} "
+                  f"kept for audit ({', '.join(ev['reasons'])}); live unchanged")
+        elif kind == "guard_passed":
+            print(f"  window {ev['window']}: post-swap guard passed for "
+                  f"{ev['version']}")
+        elif kind == "rollback":
+            print(f"  window {ev['window']}: guard degraded -> rolled back "
+                  f"{ev['from_version']} to {ev['to_version']}")
+    print(f"registry: {len(registry)} version(s), live={registry.live()}, "
+          f"lineage={' <- '.join(registry.lineage())}, "
+          f"{stats.swaps} hot-swap(s) applied")
 
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
@@ -358,7 +457,42 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         for p in problems:
             print(f"  {p}", file=sys.stderr)
         return 1
-    print("replay verified: counters and conservation identity match the log")
+    print("replay verified: counters, conservation identity and hot-swap "
+          "digests match the log")
+    return 0
+
+
+def _cmd_retrain(args: argparse.Namespace) -> int:
+    from repro.monitor import TraceReplay
+    from repro.retrain import RetrainConfig
+    from repro.serve import build_platform
+
+    try:
+        replay = TraceReplay.from_log(args.log)
+    except ValueError as exc:
+        print(f"cannot retrain from log: {exc}", file=sys.stderr)
+        return 2
+    try:
+        retrain = RetrainConfig(
+            trigger="periodic",
+            period_windows=args.period,
+            mode=args.mode,
+            epochs=args.epochs,
+            seed=replay.config.seed,
+        )
+    except ValueError as exc:
+        print(f"invalid retrain flags: {exc}", file=sys.stderr)
+        return 2
+    config = replay.config.with_overrides(retrain=retrain,
+                                          registry_root=args.registry)
+    print(f"re-driving {len(replay.arrivals)} logged arrivals with "
+          f"{args.mode} refits every {args.period} window(s) ...")
+    platform = build_platform(config)
+    events = replay.stream(platform.pool).draw(float("inf"))
+    stats = platform.run(events, outages=replay.outages or None)
+    print(stats.summary())
+    _print_retrain_outcome(platform.controller, platform.registry, stats)
+    print(f"registry persisted at {args.registry}")
     return 0
 
 
@@ -373,6 +507,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "serve": _cmd_serve,
         "monitor": _cmd_monitor,
         "replay": _cmd_replay,
+        "retrain": _cmd_retrain,
     }
     return handlers[args.command](args)
 

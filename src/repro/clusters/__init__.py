@@ -6,7 +6,7 @@ A/B/C.  Replaces the proprietary Xirang platform measurements (DESIGN.md §2).
 from repro.clusters.cluster import Cluster, Measurement
 from repro.clusters.hardware import HardwareProfile
 from repro.clusters.perf_models import PerfModel, ResponseShape
-from repro.clusters.registry import (
+from repro.clusters.catalog import (
     ARCHETYPES,
     SETTINGS,
     archetype_names,

@@ -1,181 +1,29 @@
-"""Cluster archetype catalog and the paper's experimental settings.
+"""Deprecated alias of :mod:`repro.clusters.catalog`.
 
-§4.3: "we perform three experiment sets, each randomly selecting clusters
-(settings A, B, C)".  We define a catalog of realistic archetypes whose
-response shapes differ (the Fig. 2 heterogeneity), and fixed triples for
-settings A/B/C plus a ``make_pool`` sampler for larger, randomized pools.
+The cluster archetype catalog used to live at ``repro.clusters.registry``,
+which collided with :mod:`repro.serve.registry` (the model *checkpoint*
+registry) — two unrelated "registries" one typo apart.  The module was
+renamed; this shim keeps old imports working for one release.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import warnings
 
-import numpy as np
+from repro.clusters.catalog import (  # noqa: F401
+    ARCHETYPES,
+    SETTINGS,
+    archetype_names,
+    make_cluster,
+    make_pool,
+    make_setting,
+)
 
-from repro.clusters.cluster import Cluster
-from repro.clusters.hardware import HardwareProfile
-from repro.clusters.perf_models import PerfModel, ResponseShape
-from repro.clusters.reliability import ReliabilityModel
-from repro.utils.rng import as_generator
-from repro.workloads.specs import Family
-
-__all__ = [
-    "ARCHETYPES",
-    "archetype_names",
-    "make_cluster",
-    "make_setting",
-    "make_pool",
-    "SETTINGS",
-]
-
-
-def _profile(**kw: object) -> HardwareProfile:
-    return HardwareProfile(**kw)  # type: ignore[arg-type]
-
-
-#: Archetype catalog: (hardware, response shape, base utilization, shape strength).
-#: Peak/utilization pairs are calibrated so *effective* throughput ratios stay
-#: within ~3x across archetypes — an exchange platform mixes generations, but
-#: a cluster nobody should ever win is useless for studying matching — while
-#: family affinities span ~0.45-1.35 to create the Fig. 2 crossings.
-ARCHETYPES: dict[str, tuple[HardwareProfile, ResponseShape, float, float]] = {
-    # Flagship training pod: fast, transformer-optimized, dependable.
-    "a100-dgx": (
-        _profile(
-            name="a100-dgx",
-            peak_tflops=312.0,
-            mem_bandwidth_gbs=2039.0,
-            memory_gb=80.0,
-            family_affinity={Family.TRANSFORMER: 1.35, Family.CONV: 0.95,
-                             Family.RNN: 0.60, Family.MLP: 0.90},
-            base_reliability=0.990,
-            hazard_per_hour=0.020,
-        ),
-        ResponseShape.LINEAR,
-        0.45,
-        1.0,
-    ),
-    # Previous-gen enterprise cluster (large V100 slice): strong cuDNN convs,
-    # weak transformers, small per-device memory -> exponential blow-up.
-    "v100-legacy": (
-        _profile(
-            name="v100-legacy",
-            peak_tflops=250.0,
-            mem_bandwidth_gbs=900.0,
-            memory_gb=32.0,
-            family_affinity={Family.CONV: 1.35, Family.TRANSFORMER: 0.60,
-                             Family.RNN: 1.10, Family.MLP: 1.00},
-            base_reliability=0.950,
-            hazard_per_hour=0.060,
-        ),
-        ResponseShape.MEMORY_EXP,
-        0.38,
-        1.0,
-    ),
-    # University lab of consumer GPUs: cheap, very small memory, flaky power.
-    "rtx-lab": (
-        _profile(
-            name="rtx-lab",
-            peak_tflops=180.0,
-            mem_bandwidth_gbs=1008.0,
-            memory_gb=24.0,
-            family_affinity={Family.CONV: 1.25, Family.TRANSFORMER: 0.80,
-                             Family.MLP: 1.20, Family.RNN: 0.90},
-            base_reliability=0.900,
-            hazard_per_hour=0.150,
-        ),
-        ResponseShape.MEMORY_EXP,
-        0.30,
-        1.1,
-    ),
-    # Systolic-array pod: superb on large static batches, poor on RNNs,
-    # pipelining makes it sublinear in work.
-    "tpu-pod": (
-        _profile(
-            name="tpu-pod",
-            peak_tflops=275.0,
-            mem_bandwidth_gbs=1200.0,
-            memory_gb=64.0,
-            family_affinity={Family.CONV: 1.20, Family.TRANSFORMER: 1.20,
-                             Family.RNN: 0.45, Family.MLP: 1.25},
-            base_reliability=0.970,
-            hazard_per_hour=0.030,
-        ),
-        ResponseShape.SATURATING,
-        0.50,
-        1.2,
-    ),
-    # Enterprise virtualization farm: mid-range generalist behind a shared,
-    # congested fabric -- superlinear on big jobs, mediocre reliability.
-    "enterprise-farm": (
-        _profile(
-            name="enterprise-farm",
-            peak_tflops=220.0,
-            mem_bandwidth_gbs=800.0,
-            memory_gb=48.0,
-            family_affinity={Family.CONV: 0.95, Family.TRANSFORMER: 0.95,
-                             Family.RNN: 0.90, Family.MLP: 1.00},
-            base_reliability=0.930,
-            hazard_per_hour=0.080,
-        ),
-        ResponseShape.CONGESTED,
-        0.33,
-        1.0,
-    ),
-    # Edge aggregation site: slower but extremely dependable on-prem ops.
-    "edge-site": (
-        _profile(
-            name="edge-site",
-            peak_tflops=160.0,
-            mem_bandwidth_gbs=600.0,
-            memory_gb=40.0,
-            family_affinity={Family.MLP: 1.20, Family.RNN: 1.15,
-                             Family.CONV: 0.90, Family.TRANSFORMER: 0.75},
-            base_reliability=0.995,
-            hazard_per_hour=0.010,
-        ),
-        ResponseShape.LINEAR,
-        0.35,
-        1.0,
-    ),
-}
-
-#: The paper's three fixed cluster combinations (M = 3 each).
-SETTINGS: dict[str, tuple[str, str, str]] = {
-    "A": ("a100-dgx", "v100-legacy", "tpu-pod"),
-    "B": ("v100-legacy", "rtx-lab", "enterprise-farm"),
-    "C": ("a100-dgx", "edge-site", "rtx-lab"),
-}
-
-
-def archetype_names() -> list[str]:
-    return list(ARCHETYPES)
-
-
-def make_cluster(archetype: str, cluster_id: int) -> Cluster:
-    """Instantiate one cluster from the catalog."""
-    if archetype not in ARCHETYPES:
-        raise KeyError(f"unknown archetype {archetype!r}; options: {archetype_names()}")
-    hw, shape, util, strength = ARCHETYPES[archetype]
-    perf = PerfModel(hardware=hw, shape=shape, base_utilization=util, shape_strength=strength)
-    rel = ReliabilityModel(hardware=hw)
-    return Cluster(cluster_id=cluster_id, perf=perf, rel=rel)
-
-
-def make_setting(name: str) -> list[Cluster]:
-    """Build the fixed cluster triple for setting ``"A"``, ``"B"`` or ``"C"``."""
-    if name not in SETTINGS:
-        raise KeyError(f"unknown setting {name!r}; options: {sorted(SETTINGS)}")
-    return [make_cluster(a, i) for i, a in enumerate(SETTINGS[name])]
-
-
-def make_pool(
-    m: int, rng: np.random.Generator | int | None = None, *, archetypes: Sequence[str] | None = None
-) -> list[Cluster]:
-    """Sample a pool of ``m`` clusters (with replacement beyond catalog size)."""
-    if m <= 0:
-        raise ValueError(f"m must be positive, got {m}")
-    rng = as_generator(rng)
-    names = list(archetypes or ARCHETYPES)
-    chosen = rng.choice(names, size=m, replace=m > len(names))
-    return [make_cluster(str(a), i) for i, a in enumerate(chosen)]
+warnings.warn(
+    "repro.clusters.registry was renamed to repro.clusters.catalog "
+    "(it is the cluster archetype catalog, not the model checkpoint "
+    "registry in repro.serve.registry); import from repro.clusters.catalog "
+    "or the repro.clusters package instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

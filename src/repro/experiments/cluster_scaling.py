@@ -12,7 +12,7 @@ Run: ``python -m repro.experiments.cluster_scaling``.
 
 from __future__ import annotations
 
-from repro.clusters.registry import make_pool
+from repro.clusters.catalog import make_pool
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.experiments.runner import run_experiment
 from repro.methods import MFCP, TSM

@@ -13,7 +13,7 @@ Run: ``python -m repro.experiments.dfl_landscape``.
 
 from __future__ import annotations
 
-from repro.clusters.registry import make_setting
+from repro.clusters.catalog import make_setting
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.experiments.runner import run_experiment
 from repro.methods.dfl_baselines import make_dfl_methods

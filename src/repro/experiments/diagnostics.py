@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.clusters.registry import make_setting
+from repro.clusters.catalog import make_setting
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.experiments.runner import oracle_matching
 from repro.matching.objectives import makespan

@@ -12,7 +12,7 @@ paper-sized run).
 
 from __future__ import annotations
 
-from repro.clusters.registry import make_setting
+from repro.clusters.catalog import make_setting
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.experiments.runner import run_experiment
 from repro.methods import MFCP, TAM, TSM, UCB, MFCPConfig

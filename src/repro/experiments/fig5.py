@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.clusters.registry import make_setting
+from repro.clusters.catalog import make_setting
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.experiments.fig4 import fig4_methods
 from repro.experiments.runner import run_experiment

@@ -72,7 +72,7 @@ class MethodSpec:
 def _worker(args: tuple) -> SeedResult:
     """Top-level worker (picklable): run one seed."""
     seed, setting, specs, config = args
-    from repro.clusters.registry import make_setting
+    from repro.clusters.catalog import make_setting
 
     return run_seed(
         seed,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.clusters.registry import make_setting
+from repro.clusters.catalog import make_setting
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.experiments.runner import run_experiment
 from repro.methods import MFCP, TSM

@@ -16,7 +16,7 @@ Run: ``python -m repro.experiments.table1``.
 
 from __future__ import annotations
 
-from repro.clusters.registry import make_setting
+from repro.clusters.catalog import make_setting
 from repro.experiments.config import ExperimentConfig, default_config
 from repro.experiments.runner import run_experiment
 from repro.methods.ablations import make_table1_methods

@@ -16,10 +16,13 @@ protocol and never imports this package:
 - :mod:`repro.monitor.quality` — :class:`QualityMonitor`, the
   ServeCallback composing the above and emitting ``alert`` telemetry
   events (including ``retrain_suggested``);
+- :mod:`repro.monitor.sinks` — pluggable alert delivery (file tailer,
+  webhook-style callables) with per-sink failure isolation;
 - :mod:`repro.monitor.export` — Prometheus text-format rendering of any
   telemetry aggregate;
 - :mod:`repro.monitor.replay` — deterministic reconstruction of a
-  serving run from its JSONL log (``repro replay``).
+  serving run from its JSONL log (``repro replay``), including runs
+  whose checkpoints were hot-swapped by the closed retraining loop.
 """
 
 from repro.monitor.attribution import RegretAttributor, WindowAttribution
@@ -27,6 +30,7 @@ from repro.monitor.drift import Cusum, DriftBank, PageHinkley, QuantileWindow
 from repro.monitor.export import prometheus_text, sanitize_name
 from repro.monitor.quality import DEFAULT_SLOS, Alert, MonitorConfig, QualityMonitor
 from repro.monitor.replay import ReplayStream, TraceReplay, build_stack, serve_params
+from repro.monitor.sinks import AlertSink, CallableSink, FileTailSink
 from repro.monitor.slo import SLOMonitor, SLORule, SLOStatus
 
 __all__ = [
@@ -43,6 +47,9 @@ __all__ = [
     "MonitorConfig",
     "QualityMonitor",
     "DEFAULT_SLOS",
+    "AlertSink",
+    "FileTailSink",
+    "CallableSink",
     "prometheus_text",
     "sanitize_name",
     "TraceReplay",

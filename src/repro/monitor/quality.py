@@ -14,11 +14,15 @@ per dispatched window:
 3. evaluates SLO rules (:mod:`repro.monitor.slo`) on window counts:
    wait-bound misses, shed tasks, reliability-constraint violations.
 
-Alerts are plain dataclasses collected on the monitor *and* emitted as
-structured ``alert`` telemetry events, so a JSONL run log doubles as an
-alert log.  When any drift bank fires outside the cooldown window the
-monitor raises a single ``retrain_suggested`` alert — the signal the
-ROADMAP's async retraining loop consumes.
+Alerts are plain dataclasses collected on the monitor, emitted as
+structured ``alert`` telemetry events (so a JSONL run log doubles as an
+alert log), and fanned out to any registered :mod:`repro.monitor.sinks`
+— each sink isolated so one failing webhook cannot break serving or
+starve its siblings.  When any drift bank fires outside the cooldown
+window the monitor raises a single ``retrain_suggested`` alert and calls
+its registered *retrain listeners* — the hook
+:class:`repro.retrain.RetrainController` plugs its ``notify_drift``
+into, closing the drift → refit loop.
 
 Everything the monitor computes is a pure function of the snapshot
 stream (simulated time only), so a monitored run and its trace replay
@@ -29,12 +33,14 @@ dispatcher: observing a run must not change it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.matching.relaxed import SolverConfig
 from repro.monitor.attribution import RegretAttributor
 from repro.monitor.drift import Cusum, DriftBank, PageHinkley, QuantileWindow
+from repro.monitor.sinks import AlertSink
 from repro.monitor.slo import SLOMonitor, SLORule
 from repro.serve.dispatcher import ServeCallback, ServeStats, WindowSnapshot
 from repro.telemetry import get_recorder
@@ -105,7 +111,12 @@ class MonitorConfig:
 class QualityMonitor(ServeCallback):
     """Drift + SLO + regret-attribution observer for the serving loop."""
 
-    def __init__(self, config: MonitorConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: MonitorConfig | None = None,
+        *,
+        sinks: "Sequence[AlertSink] | None" = None,
+    ) -> None:
         self.config = cfg = config or MonitorConfig()
         self.attributor = RegretAttributor(
             sample_every=cfg.sample_every,
@@ -137,8 +148,11 @@ class QualityMonitor(ServeCallback):
         }
         self.slo = SLOMonitor(list(cfg.slos))
         self.alerts: "list[Alert]" = []
+        self.sinks: "list[AlertSink]" = list(sinks or ())
+        self.sink_errors: "dict[str, int]" = {}
         self.windows_seen = 0
         self.retrain_suggested_at: "list[int]" = []
+        self._retrain_listeners: "list[Callable[[Alert], None]]" = []
         self._last_retrain_window: "int | None" = None
         self._finished = False
         self._prev_shed_total = 0
@@ -147,8 +161,35 @@ class QualityMonitor(ServeCallback):
     # ------------------------------------------------------------------ #
     # alert plumbing
 
+    def add_sink(self, sink: "AlertSink") -> "QualityMonitor":
+        """Register an alert sink (fan-out target); returns self."""
+        self.sinks.append(sink)
+        return self
+
+    def add_retrain_listener(self, fn: "Callable[[Alert], None]") -> "QualityMonitor":
+        """Call ``fn(alert)`` on every ``retrain_suggested`` alert.
+
+        This is the drift → refit wire: :meth:`repro.retrain.
+        RetrainController.notify_drift` is the intended listener.
+        Listener failures are isolated like sink failures.
+        """
+        self._retrain_listeners.append(fn)
+        return self
+
+    def _fan_out(self, alert: Alert) -> None:
+        for sink in self.sinks:
+            try:
+                sink.emit(alert)
+            except Exception:
+                # One broken sink must not break serving or its siblings.
+                name = type(sink).__name__
+                self.sink_errors[name] = self.sink_errors.get(name, 0) + 1
+                rec = get_recorder()
+                if rec.enabled:
+                    rec.counter_add("monitor/sink_errors")
+
     def _alert(self, snapshot_window: int, time: float, kind: str,
-               signal: str, detector: str, value: float, message: str) -> None:
+               signal: str, detector: str, value: float, message: str) -> Alert:
         alert = Alert(window=snapshot_window, time=time, kind=kind,
                       signal=signal, detector=detector, value=float(value),
                       message=message)
@@ -160,6 +201,8 @@ class QualityMonitor(ServeCallback):
                       kind=alert.kind, signal=alert.signal,
                       detector=alert.detector, value=alert.value,
                       message=alert.message)
+        self._fan_out(alert)
+        return alert
 
     def _maybe_suggest_retrain(self, snapshot: WindowSnapshot,
                                signal: str, detectors: "list[str]") -> None:
@@ -168,11 +211,17 @@ class QualityMonitor(ServeCallback):
             return
         self._last_retrain_window = snapshot.window
         self.retrain_suggested_at.append(snapshot.window)
-        self._alert(
+        alert = self._alert(
             snapshot.window, snapshot.time, "retrain_suggested", signal,
             "+".join(detectors), float(len(detectors)),
             f"drift on {signal} ({', '.join(detectors)}): retrain the predictor",
         )
+        for fn in self._retrain_listeners:
+            try:
+                fn(alert)
+            except Exception:
+                self.sink_errors["retrain_listener"] = (
+                    self.sink_errors.get("retrain_listener", 0) + 1)
 
     # ------------------------------------------------------------------ #
     # ServeCallback protocol
@@ -298,4 +347,5 @@ class QualityMonitor(ServeCallback):
             "drift": {name: bank.state() for name, bank in self.banks.items()},
             "slo": self.slo.state(),
             "attribution": self.attributor.summary(),
+            "sink_errors": dict(self.sink_errors),
         }

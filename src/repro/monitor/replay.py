@@ -1,11 +1,13 @@
 """Deterministic trace replay from a JSONL serving run log.
 
-A ``repro serve run --telemetry jsonl`` run leaves three breadcrumb
-event streams in its log — ``serve/arrival`` (exact arrival hour +
-task id), ``serve/outage`` (the outage schedule) and
+A ``repro serve run --telemetry jsonl`` run leaves breadcrumb event
+streams in its log — ``serve/arrival`` (exact arrival hour + task id),
+``serve/outage`` (the outage schedule), ``serve/hot_swap`` (every
+applied checkpoint swap with its deterministic weights digest) and
 ``serve/run_stats`` (the final counters) — plus a ``serve`` parameter
-dict in the meta header.  Together with the repo-wide determinism
-conventions that is a *complete* description of the run:
+dict in the meta header (a serialized :class:`repro.serve.ServeConfig`).
+Together with the repo-wide determinism conventions that is a *complete*
+description of the run:
 
 - :class:`repro.workloads.TaskPool` is a pure function of
   ``(pool_size, seed)``, so a logged ``task_id`` inverts back to the
@@ -14,22 +16,33 @@ conventions that is a *complete* description of the run:
   replayed arrival times are bit-identical to the original draw;
 - the dispatcher consumes randomness only through its own generator
   (seeded ``seed + 4`` by the serve-seed convention), and its trace is
-  simulated-time only.
+  simulated-time only;
+- the closed retraining loop (:mod:`repro.retrain`) is itself a pure
+  function of the snapshot stream and its config seed, so a
+  retrain-triggered hot-swap is *reproducible*: the replay re-runs the
+  whole drift → refit → canary → swap cascade from scratch (against a
+  scratch registry) and must regenerate checkpoints with the **same
+  weights digests** at the **same windows** — which :meth:`TraceReplay.
+  verify` checks against the logged breadcrumbs.  Only runs whose swaps
+  came from an *external* ``swap_schedule`` remain non-replayable: their
+  checkpoints live outside the log.
 
-:func:`build_stack` is the single constructor of the serving stack
-(pool → clusters → trained method → dispatcher config) shared by the
-``repro serve run`` CLI path and :class:`TraceReplay` — replays match
-the original run by construction, not by parallel reimplementation.
+The legacy dict-based helpers (``serve_params``/``build_stack``) are
+deprecated shims over :class:`repro.serve.ServeConfig`.
 """
 
 from __future__ import annotations
 
+import tempfile
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.serve.config import ServeConfig
+from repro.serve.config import build_platform as _build_platform
+from repro.serve.config import build_stack as _build_stack
 from repro.serve.dispatcher import (
     Dispatcher,
-    DispatcherConfig,
     Outage,
     ServeCallback,
     ServeStats,
@@ -46,74 +59,43 @@ RUN_STAT_FIELDS = (
     "unserved", "windows", "swaps", "max_queue_depth",
 )
 
+#: Keys a meta header must carry to be replayable (the legacy core of
+#: the serve parameter dict; newer logs add monitor/retrain sections).
+REQUIRED_PARAMS = (
+    "setting", "pool_size", "seed", "train_epochs", "solver_tol",
+    "solver_max_iters", "max_batch", "max_wait_hours", "queue_capacity",
+    "shed_policy", "warm_start",
+)
 
-def serve_params(
-    *,
-    setting: str = "A",
-    pool_size: int = 64,
-    seed: int = 0,
-    train_epochs: int = 120,
-    solver_tol: float = 1e-4,
-    solver_max_iters: int = 400,
-    max_batch: int = 16,
-    max_wait_hours: float = 0.25,
-    queue_capacity: int = 128,
-    shed_policy: str = "reject",
-    warm_start: bool = True,
-) -> dict:
-    """The JSON-serializable parameter dict a serve run stores in its
-    telemetry meta header (``meta["serve"]``) for later replay."""
-    return {
-        "setting": setting,
-        "pool_size": pool_size,
-        "seed": seed,
-        "train_epochs": train_epochs,
-        "solver_tol": solver_tol,
-        "solver_max_iters": solver_max_iters,
-        "max_batch": max_batch,
-        "max_wait_hours": max_wait_hours,
-        "queue_capacity": queue_capacity,
-        "shed_policy": shed_policy,
-        "warm_start": warm_start,
-    }
+
+def serve_params(**kwargs) -> dict:
+    """Deprecated: build a :class:`repro.serve.ServeConfig` instead.
+
+    Returns ``ServeConfig(**kwargs).to_params()`` — the same dict this
+    function always produced, now validated on the way through.
+    """
+    warnings.warn(
+        "serve_params() is deprecated; construct repro.serve.ServeConfig "
+        "and use .to_params()",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return ServeConfig(**kwargs).to_params()
 
 
 def build_stack(params: dict):
-    """Construct the serving stack a parameter dict describes.
+    """Deprecated: use :func:`repro.serve.build_stack` with a ServeConfig.
 
-    Returns ``(pool, clusters, method, spec, config)`` — everything a
-    :class:`Dispatcher` needs except the arrival stream.  Follows the
-    serve-seed convention exactly: pool on ``seed``, train/test split on
-    ``seed + 1``, fit context on ``seed + 2`` (the load generator uses
-    ``seed + 3`` and the dispatcher ``seed + 4``).
+    Accepts the legacy parameter dict and returns the same
+    ``(pool, clusters, method, spec, config)`` tuple.
     """
-    from repro.clusters import make_setting
-    from repro.matching.relaxed import SolverConfig
-    from repro.methods import TSM, FitContext, MatchSpec
-    from repro.predictors.training import TrainConfig
-
-    seed = int(params["seed"])
-    pool = TaskPool(int(params["pool_size"]), rng=seed)
-    clusters = make_setting(params["setting"])
-    train_tasks, _ = pool.split(0.6, rng=seed + 1)
-    spec = MatchSpec(solver=SolverConfig(
-        tol=float(params["solver_tol"]),
-        max_iters=int(params["solver_max_iters"]),
-    ))
-    ctx = FitContext.build(clusters, train_tasks, spec, rng=seed + 2)
-    method = TSM(
-        train_config=TrainConfig(epochs=int(params["train_epochs"]))
-    ).fit(ctx)
-    warm = bool(params["warm_start"])
-    config = DispatcherConfig(
-        max_batch=int(params["max_batch"]),
-        max_wait_hours=float(params["max_wait_hours"]),
-        queue_capacity=int(params["queue_capacity"]),
-        shed_policy=params["shed_policy"],
-        warm_start=warm,
-        memoize_predictions=warm,
+    warnings.warn(
+        "monitor.replay.build_stack(params) is deprecated; use "
+        "repro.serve.build_stack(ServeConfig.from_params(params))",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return pool, clusters, method, spec, config
+    return _build_stack(ServeConfig.from_params(params))
 
 
 @dataclass(frozen=True)
@@ -138,11 +120,12 @@ class TraceReplay:
                  outages: "list[Outage]", run_stats: "dict | None",
                  meta: "dict | None" = None) -> None:
         self.params = dict(params)
+        self.config = ServeConfig.from_params(self.params)
         self.arrivals = list(arrivals)  # (hour, task_id) in log order
         self.outages = list(outages)
         self.run_stats = dict(run_stats) if run_stats else None
         self.meta = dict(meta or {})
-        self._swaps = []
+        self._swaps: "list[dict]" = []
 
     @classmethod
     def from_log(cls, path: "str | Path") -> "TraceReplay":
@@ -155,7 +138,7 @@ class TraceReplay:
                 f"{path}: meta header has no 'serve' parameter dict — "
                 "was this log written by 'repro serve run --telemetry jsonl'?"
             )
-        missing = [k for k in serve_params() if k not in params]
+        missing = [k for k in REQUIRED_PARAMS if k not in params]
         if missing:
             raise ValueError(f"{path}: serve params missing {missing}")
         arrivals: "list[tuple[float, int]]" = []
@@ -184,6 +167,11 @@ class TraceReplay:
 
     # ------------------------------------------------------------------ #
 
+    @property
+    def swaps(self) -> "list[dict]":
+        """Logged ``serve/hot_swap`` breadcrumbs, in application order."""
+        return list(self._swaps)
+
     def stream(self, pool: TaskPool) -> ReplayStream:
         """The logged arrivals resolved against a reconstructed pool."""
         return ReplayStream(tuple((t, pool[tid]) for t, tid in self.arrivals))
@@ -193,40 +181,84 @@ class TraceReplay:
         *,
         callbacks: "list[ServeCallback] | None" = None,
         stack=None,
+        registry_root: "str | None" = None,
     ) -> ServeStats:
         """Re-drive the dispatcher over the logged arrivals.
 
-        ``stack`` accepts a prebuilt :func:`build_stack` result so tests
-        replaying one log several times train the predictor once.
+        Runs with a retrain section rebuild the *entire* closed loop —
+        monitor, controller, and a scratch checkpoint registry (a
+        temporary directory unless ``registry_root`` is given; retrain
+        runs start from an empty registry, so a scratch root regenerates
+        the same version sequence) — and the retrain cascade re-fires
+        during the replay.  Plain runs rebuild only the dispatcher.
+        Hot-swaps logged *without* a retrain section came from an
+        external swap schedule whose checkpoints the log does not carry;
+        those remain non-replayable.
+
+        ``stack`` accepts a prebuilt :func:`repro.serve.build_stack`
+        result so tests replaying one log several times train the
+        predictor once.
         """
+        if self.config.retrain is not None:
+            extra = list(callbacks or ())
+            if registry_root is not None:
+                platform = _build_platform(self.config, stack=stack,
+                                           registry_root=registry_root)
+            else:
+                with tempfile.TemporaryDirectory(prefix="replay-registry-") as tmp:
+                    platform = _build_platform(self.config, stack=stack,
+                                               registry_root=tmp)
+                    return self._drive(platform.dispatcher, platform.pool, extra)
+            return self._drive(platform.dispatcher, platform.pool, extra)
         if self._swaps:
             raise ValueError(
-                "log contains serve/hot_swap events; replaying hot-swaps needs "
-                "the original checkpoint registry, which the log does not carry"
+                "log contains serve/hot_swap events but no retrain config; "
+                "schedule-driven hot-swaps need the original checkpoint "
+                "registry, which the log does not carry"
             )
-        pool, clusters, method, spec, config = stack or build_stack(self.params)
-        events = self.stream(pool).draw(float("inf"))
+        pool, clusters, method, spec, config = stack or _build_stack(self.config)
         dispatcher = Dispatcher(clusters, method, spec, config,
                                 callbacks=callbacks)
-        return dispatcher.run(events, rng=int(self.params["seed"]) + 4,
+        return self._drive(dispatcher, pool, [])
+
+    def _drive(self, dispatcher: Dispatcher, pool: TaskPool,
+               extra_callbacks: "list[ServeCallback]") -> ServeStats:
+        for cb in extra_callbacks:
+            dispatcher.callbacks.append(cb)
+        events = self.stream(pool).draw(float("inf"))
+        return dispatcher.run(events, rng=self.config.seed + 4,
                               outages=self.outages or None)
 
     def verify(self, stats: ServeStats) -> "list[str]":
         """Mismatches between a replay's stats and the logged run's.
 
-        Empty list = the replay reproduced the original run's counters
-        and the conservation identity exactly.
+        Beyond the counter/conservation checks, every applied hot-swap
+        is compared against the logged breadcrumbs: same window, same
+        version, same weights digest, same reason — i.e. the replayed
+        retraining loop regenerated byte-identical checkpoints.  Empty
+        list = exact reproduction.
         """
         problems: "list[str]" = []
         if not stats.conserved:
             problems.append("conservation identity violated in replay")
         if self.run_stats is None:
             problems.append("log has no serve/run_stats event to verify against")
-            return problems
-        for name in RUN_STAT_FIELDS:
-            if name not in self.run_stats:
-                continue
-            got, want = getattr(stats, name), self.run_stats[name]
-            if got != want:
-                problems.append(f"{name}: replay {got} != logged {want}")
+        else:
+            for name in RUN_STAT_FIELDS:
+                if name not in self.run_stats:
+                    continue
+                got, want = getattr(stats, name), self.run_stats[name]
+                if got != want:
+                    problems.append(f"{name}: replay {got} != logged {want}")
+        if len(stats.swap_events) != len(self._swaps):
+            problems.append(
+                f"swap count: replay {len(stats.swap_events)} != "
+                f"logged {len(self._swaps)}")
+        else:
+            for got, want in zip(stats.swap_events, self._swaps):
+                for key in ("window", "version", "digest", "reason"):
+                    if key in want and got.get(key) != want[key]:
+                        problems.append(
+                            f"swap @window {want.get('window')}: {key} "
+                            f"replay {got.get(key)!r} != logged {want[key]!r}")
         return problems

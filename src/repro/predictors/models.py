@@ -118,3 +118,39 @@ class PredictorPair:
     def predict(self, Z: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """(t̂, â) for a feature matrix — the per-cluster prediction rows."""
         return self.time.predict(Z), self.reliability.predict(Z)
+
+    # ------------------------------------------------------------------ #
+    # Architecture introspection + cloning (online refit support).
+    # ------------------------------------------------------------------ #
+
+    @property
+    def in_features(self) -> int:
+        return self.time.net.in_features
+
+    @property
+    def hidden_sizes(self) -> tuple[int, ...]:
+        """Hidden layer widths, read back from the time head's MLP."""
+        from repro.nn.layers import Linear
+
+        linears = [m for m in self.time.net.net if isinstance(m, Linear)]
+        return tuple(layer.out_features for layer in linears[:-1])
+
+    def clone(self, rng: np.random.Generator | int | None = None) -> "PredictorPair":
+        """An independent pair with the same architecture and weights.
+
+        The online refit policy trains *candidate* weights while the live
+        pair keeps serving; cloning (same standardizer reference, deep-
+        copied parameters) is how an incremental refit warm-starts from
+        the live checkpoint without aliasing it.
+        """
+        fresh = PredictorPair(
+            self.in_features, self.hidden_sizes,
+            standardizer=self.time.standardizer, rng=rng,
+        )
+        fresh.time.load_state_dict(
+            {k: v.copy() for k, v in self.time.state_dict().items()})
+        fresh.reliability.load_state_dict(
+            {k: v.copy() for k, v in self.reliability.state_dict().items()})
+        # The heads may carry distinct standardizers after a registry load.
+        fresh.reliability.standardizer = self.reliability.standardizer
+        return fresh

@@ -4,6 +4,11 @@
 exp(·), so MSE on log targets equals relative-error regression — the right
 loss for quantities spanning orders of magnitude).  ``train_reliability``
 offers the paper's MSE loss and a BCE option.
+
+:class:`StepwiseTrainer` exposes the same optimization one minibatch at a
+time — the incremental-refit entry point of the online retraining loop
+(:mod:`repro.retrain`), which must interleave training steps with dispatch
+windows instead of blocking the serving loop on a full ``train_*`` call.
 """
 
 from __future__ import annotations
@@ -13,10 +18,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nn import Adam, Tensor, mse_loss, bce_loss, ops
+from repro.nn.layers import Module
 from repro.predictors.models import ReliabilityPredictor, TimePredictor
 from repro.utils.rng import as_generator
 
-__all__ = ["TrainConfig", "train_time_mse", "train_reliability", "TrainResult"]
+__all__ = [
+    "TrainConfig",
+    "train_time_mse",
+    "train_reliability",
+    "TrainResult",
+    "StepwiseTrainer",
+]
 
 
 @dataclass(frozen=True)
@@ -112,3 +124,110 @@ def train_reliability(
             epoch_loss += value.item() * len(idx)
         history[epoch] = epoch_loss / len(Z)
     return TrainResult(final_loss=float(history[-1]), history=history)
+
+
+class StepwiseTrainer:
+    """Cooperative mini-batch trainer: the refit loop's unit of work.
+
+    Runs the exact optimization of :func:`train_time_mse` /
+    :func:`train_reliability` (same shuffling scheme, same optimizer, same
+    losses) but yields control after every minibatch, so a caller embedded
+    in the serving loop can budget "at most ``n`` steps per dispatch
+    window" and keep the dispatcher's event loop — and its determinism —
+    intact.  Driven to completion with the same generator it reproduces
+    the blocking loops' loss trajectory exactly.
+
+    ``loss`` selects the head semantics: ``"log_mse"`` (time head — MSE
+    between the log of the forward pass and log targets), ``"mse"`` or
+    ``"bce"`` (reliability head on [0, 1] targets).
+    """
+
+    def __init__(
+        self,
+        predictor: Module,
+        Z: np.ndarray,
+        y: np.ndarray,
+        config: TrainConfig | None = None,
+        rng: np.random.Generator | int | None = None,
+        *,
+        loss: str = "log_mse",
+    ) -> None:
+        if loss not in ("log_mse", "mse", "bce"):
+            raise ValueError(f"loss must be 'log_mse', 'mse' or 'bce', got {loss!r}")
+        self.config = cfg = config or TrainConfig()
+        self.rng = as_generator(rng)
+        self.loss = loss
+        self.predictor = predictor
+        self.Z = np.asarray(Z, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if len(self.Z) != len(y):
+            raise ValueError("Z and y must have matching lengths")
+        if len(self.Z) == 0:
+            raise ValueError("need at least one training sample")
+        self.y = np.log(y) if loss == "log_mse" else y
+        self.opt = Adam(predictor.parameters(), lr=cfg.lr,
+                        weight_decay=cfg.weight_decay)
+        self.steps_done = 0
+        self.epochs_done = 0
+        self.last_loss = float("nan")
+        self.history: "list[float]" = []  # per-epoch mean sample loss
+        self._pending: "list[np.ndarray]" = []
+        self._epoch_loss = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def steps_per_epoch(self) -> int:
+        n = len(self.Z)
+        b = self.config.batch_size
+        return (n + b - 1) // b
+
+    @property
+    def total_steps(self) -> int:
+        return self.steps_per_epoch * self.config.epochs
+
+    @property
+    def done(self) -> bool:
+        return self.epochs_done >= self.config.epochs
+
+    def step(self) -> float:
+        """Run one minibatch; returns its mean loss.  Raises when done."""
+        if self.done:
+            raise RuntimeError("trainer already finished its epoch budget")
+        if not self._pending:
+            self._pending = _minibatches(len(self.Z), self.config.batch_size,
+                                         self.rng)
+            self._epoch_loss = 0.0
+        idx = self._pending.pop(0)
+        self.opt.zero_grad()
+        if self.loss == "log_mse":
+            pred = ops.log(self.predictor.forward(self.Z[idx]))
+            value = mse_loss(pred, self.y[idx])
+        else:
+            pred = self.predictor.forward(self.Z[idx])
+            loss_fn = mse_loss if self.loss == "mse" else bce_loss
+            value = loss_fn(pred, self.y[idx])
+        value.backward()
+        self.opt.step()
+        self.steps_done += 1
+        self.last_loss = value.item()
+        self._epoch_loss += self.last_loss * len(idx)
+        if not self._pending:
+            self.epochs_done += 1
+            self.history.append(self._epoch_loss / len(self.Z))
+        return self.last_loss
+
+    def run_steps(self, budget: int) -> int:
+        """Advance at most ``budget`` minibatches; returns how many ran."""
+        ran = 0
+        while ran < budget and not self.done:
+            self.step()
+            ran += 1
+        return ran
+
+    def result(self) -> TrainResult:
+        """The finished run as a :class:`TrainResult` (requires ``done``)."""
+        if not self.done:
+            raise RuntimeError("trainer has not finished yet")
+        history = np.asarray(self.history)
+        return TrainResult(final_loss=float(history[-1]), history=history)

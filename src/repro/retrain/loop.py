@@ -1,0 +1,439 @@
+"""The closed-loop retraining controller (drift → refit → canary → swap).
+
+:class:`RetrainController` is a :class:`~repro.serve.dispatcher.ServeCallback`
+that rides the dispatcher's window stream and closes the learning loop:
+
+1. **harvest** — every dispatched window's realized outcomes land in a
+   :class:`~repro.retrain.buffer.ReplayBuffer` (orphaned dispatches are
+   voided through ``on_requeue`` before they can poison a training set);
+2. **trigger** — a drift alert from :class:`repro.monitor.quality.
+   QualityMonitor` (wired via ``notify_drift``), a periodic schedule, or
+   an explicit ``request_retrain`` arms a refit;
+3. **refit** — a :class:`~repro.retrain.policy.RefitJob` trains candidate
+   pairs cooperatively, ``steps_per_window`` minibatches per dispatched
+   window, so training never blocks matching and the event loop stays
+   deterministic;
+4. **canary** — the finished candidate is shadow-scored against the live
+   model by :class:`~repro.retrain.canary.CanaryGate` on held-out recent
+   labels and cached decision windows.  Pass → the checkpoint registers
+   with the live version as its *parent*, is promoted, and a hot-swap is
+   queued for the next window.  Fail → it registers tagged
+   ``canary-rejected`` for audit but the live pointer never moves;
+5. **guard** — for ``guard_windows`` windows after a swap the controller
+   watches the served time-prediction error; degradation beyond
+   ``guard_ratio`` × the pre-swap baseline rolls the registry back along
+   the lineage chain and queues a rollback swap.
+
+Everything the controller does is keyed to simulated time and a config
+seed, so an equal-seed re-run reproduces the identical sequence of
+triggers, candidates, verdicts, and swaps — the property the replay
+layer (:mod:`repro.monitor.replay`) verifies for swapped runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.matching.relaxed import SolverConfig
+from repro.predictors.models import PredictorPair
+from repro.predictors.training import TrainConfig
+from repro.retrain.buffer import Label, ReplayBuffer
+from repro.retrain.canary import CanaryGate, CanaryWindow
+from repro.retrain.policy import REFIT_MODES, RefitJob
+from repro.serve.dispatcher import Dispatcher, ServeCallback, ServeStats, WindowSnapshot
+from repro.serve.registry import ModelRegistry
+from repro.telemetry import get_recorder
+from repro.utils.rng import as_generator
+
+__all__ = ["RetrainConfig", "RetrainController"]
+
+TRIGGERS = ("drift", "periodic", "both", "manual")
+
+
+@dataclass(frozen=True)
+class RetrainConfig:
+    """Flat, JSON-safe knobs of the closed retraining loop."""
+
+    # Trigger policy.
+    trigger: str = "drift"  # drift | periodic | both | manual
+    period_windows: int = 0  # periodic cadence (0 = never), used by periodic/both
+    cooldown_windows: int = 16  # windows between retrain attempts
+    # Label harvesting / sampling.
+    capacity: int = 4096
+    min_labels: int = 32  # observable labels required to arm a refit
+    min_cluster_labels: int = 8
+    sample_size: int = 256
+    half_life_hours: float = 8.0
+    holdout_fraction: float = 0.25
+    # Refit optimization (feeds TrainConfig).
+    mode: str = "incremental"  # or "full"
+    steps_per_window: int = 8  # cooperative minibatch budget per dispatch
+    epochs: int = 40
+    lr: float = 5e-3
+    batch_size: int = 16
+    weight_decay: float = 1e-5
+    # Canary gate.
+    canary_min_holdout: int = 12
+    canary_windows: int = 6  # recent windows cached for decision-regret replay
+    time_ratio_max: float = 1.0
+    brier_ratio_max: float = 1.05
+    regret_ratio_max: float = 1.02
+    # Post-swap guard.
+    guard_windows: int = 10
+    guard_ratio: float = 1.5
+    # Determinism.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.trigger not in TRIGGERS:
+            raise ValueError(f"trigger must be one of {TRIGGERS}, got {self.trigger!r}")
+        if self.mode not in REFIT_MODES:
+            raise ValueError(f"mode must be one of {REFIT_MODES}, got {self.mode!r}")
+        if self.trigger in ("periodic", "both") and self.period_windows <= 0:
+            raise ValueError("periodic trigger requires period_windows > 0")
+        for name in ("capacity", "min_labels", "min_cluster_labels", "sample_size",
+                     "steps_per_window", "epochs", "batch_size",
+                     "canary_min_holdout", "guard_windows"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 < self.holdout_fraction < 1.0:
+            raise ValueError("holdout_fraction must be in (0, 1)")
+        if self.guard_ratio <= 0 or self.half_life_hours <= 0:
+            raise ValueError("guard_ratio and half_life_hours must be positive")
+
+    # JSON round-trip (serving params in run logs; CLI flag parsing).
+    def to_params(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_params(cls, params: dict) -> "RetrainConfig":
+        return cls(**params)
+
+    def train_config(self) -> TrainConfig:
+        return TrainConfig(epochs=self.epochs, lr=self.lr,
+                           batch_size=self.batch_size,
+                           weight_decay=self.weight_decay)
+
+
+def _pairs_of_method(method: object) -> "list[PredictorPair]":
+    for attr in ("pairs", "_pairs"):
+        pairs = getattr(method, attr, None)
+        if pairs:
+            return list(pairs)
+    raise TypeError(
+        f"{type(method).__name__} exposes no predictor pairs; the retraining "
+        "loop needs a prediction-driven method (TSM/MFCP)"
+    )
+
+
+class RetrainController(ServeCallback):
+    """Serve callback running the harvest → refit → canary → guard loop."""
+
+    def __init__(
+        self,
+        config: "RetrainConfig | None" = None,
+        *,
+        registry: "ModelRegistry | None" = None,
+        solver_config: "SolverConfig | None" = None,
+    ) -> None:
+        self.config = cfg = config or RetrainConfig()
+        self.registry = registry
+        self.buffer = ReplayBuffer(capacity=cfg.capacity)
+        self.gate = CanaryGate(
+            min_holdout=cfg.canary_min_holdout,
+            time_ratio_max=cfg.time_ratio_max,
+            brier_ratio_max=cfg.brier_ratio_max,
+            regret_ratio_max=cfg.regret_ratio_max,
+            solver_config=solver_config,
+        )
+        self._rng = as_generator(cfg.seed)
+        self.state = "idle"  # idle | training | guard
+        self.dispatcher: "Dispatcher | None" = None
+        self._pair_index: "dict[int, int]" = {}
+        self._cluster_ids: "list[int]" = []
+        self._drift_reason: "str | None" = None
+        self._manual_reason: "str | None" = None
+        self._cooldown_until = 0  # window number before which no trigger arms
+        self._last_trigger_window = 0
+        self._job: "RefitJob | None" = None
+        self._holdout: "list[Label]" = []
+        self._windows: "deque[CanaryWindow]" = deque(maxlen=cfg.canary_windows)
+        # Per-window served time-prediction MSE (log space) — guard metric.
+        self._window_mse: "deque[tuple[int, float]]" = deque(
+            maxlen=2 * cfg.guard_windows)
+        #: Full ``(window, served log-time MSE)`` history — one tuple per
+        #: window with completed tasks; the before/after evidence tests
+        #: and examples use to show a swap actually helped.
+        self.window_errors: "list[tuple[int, float]]" = []
+        self._guard: "dict | None" = None
+        # Audit trail for tests/examples: every verdict the loop produced.
+        self.events: "list[dict]" = []
+
+    # ------------------------------------------------------------------ #
+    # Wiring.
+    # ------------------------------------------------------------------ #
+
+    def bind(self, dispatcher: Dispatcher) -> "RetrainController":
+        """Attach to a dispatcher (must carry the checkpoint registry).
+
+        Bootstraps the registry when empty: the currently fitted model is
+        registered and promoted so every later refit has a parent to
+        record — and a rollback target.
+        """
+        if dispatcher.registry is None and self.registry is None:
+            raise ValueError("retraining requires a dispatcher with a registry")
+        if self.registry is None:
+            self.registry = dispatcher.registry
+        elif dispatcher.registry is not None and dispatcher.registry is not self.registry:
+            raise ValueError("dispatcher and controller registries differ")
+        self.dispatcher = dispatcher
+        self._cluster_ids = [c.cluster_id for c in dispatcher.clusters]
+        self._pair_index = {cid: i for i, cid in enumerate(self._cluster_ids)}
+        _pairs_of_method(dispatcher.method)  # fail fast on oracle-style methods
+        if not self.registry.versions():
+            info = self.registry.save(dispatcher.method, config=self.config,
+                                      tag="bootstrap")
+            self.registry.set_live(info.version)
+        elif self.registry.live() is None:
+            self.registry.set_live(self.registry.latest())
+        return self
+
+    def notify_drift(self, alert: object = None) -> None:
+        """Drift-trigger entry point (wired to the quality monitor)."""
+        reason = getattr(alert, "message", None) or (
+            alert.get("message") if isinstance(alert, dict) else None)
+        self._drift_reason = f"drift: {reason}" if reason else "drift"
+
+    def request_retrain(self, reason: str = "manual") -> None:
+        """Arm a refit regardless of the trigger policy (CLI/operator)."""
+        self._manual_reason = reason
+
+    # ------------------------------------------------------------------ #
+    # Serve callbacks.
+    # ------------------------------------------------------------------ #
+
+    def on_requeue(self, task_id: int, arrival: float, t: float) -> None:
+        self.buffer.discard(task_id, arrival)
+
+    def on_window(self, snapshot: WindowSnapshot) -> None:
+        self.buffer.harvest(snapshot)
+        self._cache_window(snapshot)
+        self._track_served_error(snapshot)
+        if self.state == "training":
+            self._advance_training(snapshot)
+        elif self.state == "guard":
+            self._advance_guard(snapshot)
+        if self.state == "idle":
+            reason = self._trigger_reason(snapshot.window)
+            if reason is not None:
+                self._start_job(snapshot, reason)
+
+    def on_finish(self, stats: ServeStats) -> None:
+        rec = get_recorder()
+        if rec.enabled:
+            rec.event("retrain/summary", state=self.state,
+                      buffer=self.buffer.stats(),
+                      events=[e["kind"] for e in self.events])
+
+    # ------------------------------------------------------------------ #
+    # Window bookkeeping.
+    # ------------------------------------------------------------------ #
+
+    def _cache_window(self, snapshot: WindowSnapshot) -> None:
+        if snapshot.features is None:
+            return
+        self._windows.append(CanaryWindow(
+            window=snapshot.window,
+            pair_rows=tuple(self._pair_index[cid] for cid in snapshot.cluster_ids),
+            T=snapshot.T, A=snapshot.A, gamma=snapshot.gamma,
+            Z=snapshot.features,
+        ))
+
+    def _track_served_error(self, snapshot: WindowSnapshot) -> None:
+        """Log-space time-prediction MSE of this window's served decisions."""
+        if snapshot.T_hat is None:
+            return
+        rows = np.argmax(snapshot.X, axis=0)
+        ok = snapshot.success & (snapshot.realized_hours > 0)
+        if not ok.any():
+            return
+        t_hat = snapshot.T_hat[rows[ok], np.flatnonzero(ok)]
+        err = np.log(np.maximum(t_hat, 1e-12)) - np.log(snapshot.realized_hours[ok])
+        self._window_mse.append((snapshot.window, float(np.mean(err ** 2))))
+        self.window_errors.append(self._window_mse[-1])
+
+    def served_mse(self, last: "int | None" = None) -> float:
+        """Mean served time-prediction MSE over the last ``last`` windows."""
+        vals = [m for _, m in self._window_mse]
+        if last is not None:
+            vals = vals[-last:]
+        return float(np.mean(vals)) if vals else float("nan")
+
+    # ------------------------------------------------------------------ #
+    # Trigger → job.
+    # ------------------------------------------------------------------ #
+
+    def _trigger_reason(self, window: int) -> "str | None":
+        if window < self._cooldown_until:
+            return None
+        if self._manual_reason is not None:
+            reason, self._manual_reason = self._manual_reason, None
+            return reason
+        cfg = self.config
+        if cfg.trigger in ("drift", "both") and self._drift_reason is not None:
+            reason, self._drift_reason = self._drift_reason, None
+            return reason
+        if cfg.trigger in ("periodic", "both") and cfg.period_windows > 0:
+            if window - self._last_trigger_window >= cfg.period_windows:
+                return f"periodic: every {cfg.period_windows} windows"
+        return None
+
+    def _start_job(self, snapshot: WindowSnapshot, reason: str) -> None:
+        cfg = self.config
+        rec = get_recorder()
+        ready = self.buffer.ready(snapshot.time)
+        if len(ready) < cfg.min_labels:
+            # Not enough evidence yet; retry after a short backoff rather
+            # than burning a trigger every window.
+            self._cooldown_until = snapshot.window + max(1, cfg.cooldown_windows // 4)
+            self._drift_reason = self._drift_reason or reason
+            return
+        sampled = self.buffer.sample(snapshot.time, cfg.sample_size, self._rng,
+                                     half_life_hours=cfg.half_life_hours)
+        train, holdout = self.buffer.split_holdout(sampled, cfg.holdout_fraction)
+        live_pairs = _pairs_of_method(self.dispatcher.method)
+        try:
+            job = RefitJob.build(
+                live_pairs, self._cluster_ids, ReplayBuffer.datasets(train),
+                mode=cfg.mode, config=cfg.train_config(), rng=self._rng,
+                min_cluster_labels=cfg.min_cluster_labels,
+            )
+        except ValueError:
+            self._cooldown_until = snapshot.window + max(1, cfg.cooldown_windows // 4)
+            self._drift_reason = self._drift_reason or reason
+            return
+        self._job = job
+        self._holdout = holdout
+        self._last_trigger_window = snapshot.window
+        self.state = "training"
+        self.events.append({"kind": "triggered", "window": snapshot.window,
+                            "reason": reason, "n_train": len(train),
+                            "n_holdout": len(holdout)})
+        if rec.enabled:
+            rec.counter_add("retrain/jobs")
+            rec.event("retrain/triggered", window=snapshot.window, reason=reason,
+                      mode=cfg.mode, n_train=len(train), n_holdout=len(holdout),
+                      total_steps=job.total_steps)
+
+    # ------------------------------------------------------------------ #
+    # Training → canary → swap.
+    # ------------------------------------------------------------------ #
+
+    def _advance_training(self, snapshot: WindowSnapshot) -> None:
+        job = self._job
+        assert job is not None
+        ran = job.run_steps(self.config.steps_per_window)
+        rec = get_recorder()
+        if rec.enabled and ran:
+            rec.counter_add("retrain/steps", ran)
+        if not job.done:
+            return
+        self._finish_job(snapshot, job)
+
+    def _finish_job(self, snapshot: WindowSnapshot, job: RefitJob) -> None:
+        cfg = self.config
+        rec = get_recorder()
+        live_pairs = _pairs_of_method(self.dispatcher.method)
+        holdout = [l for l in self._holdout if l.end <= snapshot.time]
+        decision = self.gate.evaluate(
+            job.pairs, live_pairs, self._pair_index, holdout,
+            list(self._windows),
+        )
+        metrics = {**decision.metrics(),
+                   "refit_steps": float(job.steps_done),
+                   "refit_labels": float(job.n_labels)}
+        live_version = self.registry.live()
+        self._job = None
+        self._holdout = []
+        self._cooldown_until = snapshot.window + cfg.cooldown_windows
+        if rec.enabled:
+            rec.event("retrain/canary", window=snapshot.window,
+                      passed=decision.passed, reasons=list(decision.reasons),
+                      **{k: v for k, v in decision.metrics().items()
+                         if k != "canary_passed"})
+        if not decision.passed:
+            info = self.registry.save(job.pairs, config=cfg, metrics=metrics,
+                                      tag="canary-rejected", parent=live_version)
+            self.state = "idle"
+            self.events.append({"kind": "rejected", "window": snapshot.window,
+                                "version": info.version,
+                                "reasons": list(decision.reasons)})
+            if rec.enabled:
+                rec.counter_add("retrain/rejections")
+                rec.event("retrain/rejected", window=snapshot.window,
+                          version=info.version, reasons=list(decision.reasons))
+            return
+        info = self.registry.save(job.pairs, config=cfg, metrics=metrics,
+                                  tag=f"refit-{job.mode}", parent=live_version)
+        self.registry.set_live(info.version)
+        self.dispatcher.request_swap(info.version, reason="retrain")
+        baseline = self.served_mse(cfg.guard_windows)
+        self._guard = {"after_window": snapshot.window, "baseline": baseline,
+                       "collected": [], "version": info.version}
+        self.state = "guard"
+        self.events.append({"kind": "promoted", "window": snapshot.window,
+                            "version": info.version, "parent": live_version,
+                            "baseline_mse": baseline})
+        if rec.enabled:
+            rec.counter_add("retrain/promotions")
+            rec.event("retrain/promoted", window=snapshot.window,
+                      version=info.version, parent=live_version,
+                      digest=info.digest, baseline_mse=baseline)
+
+    # ------------------------------------------------------------------ #
+    # Post-swap guard.
+    # ------------------------------------------------------------------ #
+
+    def _advance_guard(self, snapshot: WindowSnapshot) -> None:
+        guard = self._guard
+        assert guard is not None
+        cfg = self.config
+        # The swap applies at the dispatch *after* the request; only
+        # windows served by the new model count toward the verdict.
+        if snapshot.window <= guard["after_window"]:
+            return
+        if self._window_mse and self._window_mse[-1][0] == snapshot.window:
+            guard["collected"].append(self._window_mse[-1][1])
+        if len(guard["collected"]) < cfg.guard_windows:
+            return
+        post = float(np.mean(guard["collected"]))
+        baseline = guard["baseline"]
+        rec = get_recorder()
+        degraded = (np.isfinite(baseline) and baseline > 0
+                    and post > cfg.guard_ratio * baseline)
+        self._guard = None
+        self.state = "idle"
+        if not degraded:
+            self.events.append({"kind": "guard_passed", "window": snapshot.window,
+                                "version": guard["version"], "post_mse": post,
+                                "baseline_mse": baseline})
+            if rec.enabled:
+                rec.event("retrain/guard_passed", window=snapshot.window,
+                          version=guard["version"], post_mse=post,
+                          baseline_mse=baseline)
+            return
+        info = self.registry.rollback()
+        self.dispatcher.request_swap(info.version, reason="rollback")
+        self._cooldown_until = snapshot.window + cfg.cooldown_windows
+        self.events.append({"kind": "rollback", "window": snapshot.window,
+                            "from_version": guard["version"],
+                            "to_version": info.version,
+                            "post_mse": post, "baseline_mse": baseline})
+        if rec.enabled:
+            rec.counter_add("retrain/rollbacks")
+            rec.event("retrain/rollback", window=snapshot.window,
+                      from_version=guard["version"], to_version=info.version,
+                      post_mse=post, baseline_mse=baseline)

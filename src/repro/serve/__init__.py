@@ -11,7 +11,11 @@ service (ROADMAP north star; see DESIGN.md §10):
 - :mod:`repro.serve.registry` — versioned predictor checkpoint registry
   with mid-run hot-swap;
 - :mod:`repro.serve.loadgen` — Poisson/bursty/diurnal load generation and
-  the ``repro serve bench`` throughput/latency soak benchmark.
+  the ``repro serve bench`` throughput/latency soak benchmark;
+- :mod:`repro.serve.config` — the typed :class:`ServeConfig` facade and
+  :func:`build_platform`, the one-call constructor wiring dispatcher,
+  quality monitor, checkpoint registry, and the closed-loop retraining
+  controller together.
 """
 
 from repro.serve.cache import (
@@ -36,9 +40,19 @@ from repro.serve.loadgen import (
     make_load,
     run_serve_benchmark,
 )
-from repro.serve.registry import CHECKPOINT_FORMAT, CheckpointInfo, ModelRegistry
+from repro.serve.config import Platform, ServeConfig, build_platform, build_stack
+from repro.serve.registry import (
+    CHECKPOINT_FORMAT,
+    CheckpointInfo,
+    ModelRegistry,
+    weights_digest,
+)
 
 __all__ = [
+    "ServeConfig",
+    "Platform",
+    "build_platform",
+    "build_stack",
     "Dispatcher",
     "DispatcherConfig",
     "Outage",
@@ -53,6 +67,7 @@ __all__ = [
     "ModelRegistry",
     "CheckpointInfo",
     "CHECKPOINT_FORMAT",
+    "weights_digest",
     "PoissonLoad",
     "BurstyLoad",
     "DiurnalLoad",

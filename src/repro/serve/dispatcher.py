@@ -25,7 +25,12 @@ module provides that loop over simulated time:
   :class:`~repro.serve.cache.PredictionMemo`;
 - **checkpoint hot-swap** — a ``swap_schedule`` mapping window index →
   registry version reloads predictor weights *between* windows and bumps
-  the memo, modelling periodic retraining without stopping the loop.
+  the memo, modelling periodic retraining without stopping the loop; a
+  serving observer (the :mod:`repro.retrain` controller) can instead call
+  :meth:`Dispatcher.request_swap` mid-run, which applies at the start of
+  the next dispatched window through the same mechanics.  Every applied
+  swap leaves a ``serve/hot_swap`` breadcrumb carrying the checkpoint's
+  deterministic weights digest, so swapped runs stay replayable.
 
 Everything is driven by seeded RNG streams and processed in a fixed event
 order, so a run is bit-reproducible: :meth:`ServeStats.trace_bytes` is the
@@ -139,6 +144,10 @@ class ServeStats:
     total_wait_hours: float = 0.0
     total_flow_hours: float = 0.0
     decide_seconds: list[float] = field(default_factory=list, repr=False)
+    #: One dict per applied hot-swap: ``{window, version, digest, reason}``.
+    #: Simulated-window quantities only, so a replay must reproduce the
+    #: sequence exactly (checked by ``TraceReplay.verify``).
+    swap_events: list[dict] = field(default_factory=list, repr=False)
     #: Wall-clock seconds spent inside serve callbacks (snapshot build +
     #: observer work); 0.0 when no callbacks are registered.  Excluded
     #: from the canonical trace — wall clock never enters
@@ -249,6 +258,11 @@ class WindowSnapshot:
     queue_depth: int  # admission queue depth after the batch left
     arrived_total: int  # cumulative arrivals when the window closed
     shed_total: int  # cumulative sheds when the window closed
+    #: Raw (unstandardized) task feature matrix, shape (k, d) in
+    #: ``task_ids`` order — what the label harvester of the retraining
+    #: loop pairs with ``realized_hours``/``success`` to form training
+    #: examples.  ``None`` only for snapshots built by old code paths.
+    features: "np.ndarray | None" = None
 
     @property
     def batch_size(self) -> int:
@@ -272,6 +286,15 @@ class ServeCallback:
 
     def on_window(self, snapshot: WindowSnapshot) -> None:
         """One micro-batch window was dispatched and scheduled."""
+
+    def on_requeue(self, task_id: int, arrival: float, t: float) -> None:
+        """A scheduled task was orphaned by a dropout and re-queued.
+
+        Its earlier dispatch never completed, so any label derived from
+        that dispatch's snapshot is void — the retraining loop's harvester
+        uses this hook to discard it before it can time-travel into a
+        training set.
+        """
 
     def on_finish(self, stats: "ServeStats") -> None:
         """The run drained; ``stats`` is final (records sorted)."""
@@ -334,6 +357,9 @@ class Dispatcher:
             self.memo = PredictionMemo() if memo is None else memo
         self.registry = registry
         self.swap_schedule = dict(swap_schedule or {})
+        #: Swap requested mid-run (``(version, reason)``), applied at the
+        #: start of the next dispatched window.
+        self._pending_swap: "tuple[str, str] | None" = None
         self.callbacks: "list[ServeCallback]" = list(callbacks or ())
         # The warm-start/memo hooks only apply to methods running the
         # default predict→solve→round pipeline; custom decide() overrides
@@ -341,6 +367,20 @@ class Dispatcher:
         self._default_decide = type(method).decide is BaseMethod.decide
 
     # ------------------------------------------------------------------ #
+
+    def request_swap(self, version: str, *, reason: str = "retrain") -> None:
+        """Queue a checkpoint hot-swap for the next dispatched window.
+
+        The closed-loop retrainer calls this from inside a serve callback
+        (i.e. mid-window); applying the swap immediately would tear the
+        weights out from under the window being observed, so it is
+        deferred to the next window's dispatch — the same boundary
+        ``swap_schedule`` swaps at.  A second request before the next
+        window replaces the first (last writer wins).
+        """
+        if self.registry is None:
+            raise ValueError("request_swap requires a registry")
+        self._pending_swap = (str(version), str(reason))
 
     def run(
         self,
@@ -446,7 +486,31 @@ class Dispatcher:
             stats.requeued += 1
             if rec.enabled:
                 rec.counter_add("serve/requeued")
+            if self.callbacks:
+                cb0 = time.perf_counter()
+                for cb in self.callbacks:
+                    cb.on_requeue(s.task.task_id, s.arrival, now)
+                stats.callback_seconds += time.perf_counter() - cb0
             note_depth()
+
+        def apply_swap(window: int, version: str, reason: str) -> None:
+            info = self.registry.load_into(self.method, version)
+            if self.memo is not None:
+                self.memo.bump()
+            if self.cache is not None:
+                # Cached columns were optima of the *old* model's
+                # predicted problem; keeping them would let post-swap
+                # windows report warm "hits" seeded from a stale
+                # objective.  Start the new model cold.
+                self.cache.clear()
+            stats.swaps += 1
+            stats.swap_events.append({
+                "window": window, "version": info.version,
+                "digest": info.digest, "reason": reason,
+            })
+            if rec.enabled:
+                rec.event("serve/hot_swap", window=window, version=info.version,
+                          digest=info.digest, reason=reason)
 
         def dispatch_window(now: float) -> None:
             nonlocal busy_until
@@ -454,19 +518,11 @@ class Dispatcher:
             k = min(cfg.max_batch, len(queue))
             window = stats.windows
             if self.swap_schedule and window in self.swap_schedule:
-                self.registry.load_into(self.method, self.swap_schedule[window])
-                if self.memo is not None:
-                    self.memo.bump()
-                if self.cache is not None:
-                    # Cached columns were optima of the *old* model's
-                    # predicted problem; keeping them would let post-swap
-                    # windows report warm "hits" seeded from a stale
-                    # objective.  Start the new model cold.
-                    self.cache.clear()
-                stats.swaps += 1
-                if rec.enabled:
-                    rec.event("serve/hot_swap", window=window,
-                              version=self.swap_schedule[window])
+                apply_swap(window, self.swap_schedule[window], "schedule")
+            if self._pending_swap is not None:
+                version, reason = self._pending_swap
+                self._pending_swap = None
+                apply_swap(window, version, reason)
             if rec.enabled:
                 rec.observe("serve/queue_depth", len(queue), bounds=SIZE_BUCKETS)
             batch = [queue.popleft() for _ in range(k)]
@@ -575,6 +631,7 @@ class Dispatcher:
                     queue_depth=len(queue),
                     arrived_total=stats.arrived,
                     shed_total=stats.shed,
+                    features=np.stack([t.features for t in tasks]),
                 )
                 for cb in self.callbacks:
                     cb.on_window(snapshot)

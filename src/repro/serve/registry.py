@@ -9,8 +9,17 @@ gives that loop a durable handoff point, layered on
   per-cluster time/reliability ``.npz`` state dicts;
 - a ``meta.json`` metadata header per version: checkpoint format, git SHA
   and interpreter (via :func:`repro.telemetry.run_metadata`), the training
-  config repr, arbitrary metrics, cluster/parameter counts, and an
-  optional human tag;
+  config repr, arbitrary metrics, cluster/parameter counts, an optional
+  human tag, a deterministic **weights digest** (SHA-256 over parameter
+  names and raw array bytes — stable across re-runs, unlike npz file
+  bytes, whose zip headers embed timestamps) and an optional **parent**
+  version recording retrain lineage;
+- a **live pointer** (``live.json``) naming the version production
+  traffic should load.  Registering a checkpoint never moves the pointer:
+  the canary gate of :mod:`repro.retrain` promotes versions explicitly
+  via :meth:`set_live`, and :meth:`rollback` walks the pointer back along
+  the lineage chain — so canary-rejected candidates can be kept for audit
+  without ever becoming the serving default;
 - ``load_into`` restores a version into any trained method *in place*, so
   a running :class:`~repro.serve.dispatcher.Dispatcher` can hot-swap
   models between windows without rebuilding its queue or cache state.
@@ -18,10 +27,15 @@ gives that loop a durable handoff point, layered on
 Any object exposing per-cluster :class:`~repro.predictors.models.PredictorPair`
 objects works as a source/target: a plain list of pairs, or a method with
 a ``pairs`` property (TSM) / ``_pairs`` attribute (MFCP).
+
+Not to be confused with :mod:`repro.clusters.catalog` (formerly
+``repro.clusters.registry``), the *cluster archetype catalog* — this
+module stores model checkpoints, that one hardware definitions.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -36,7 +50,12 @@ from repro.predictors.dataset import Standardizer
 from repro.predictors.models import PredictorPair
 from repro.telemetry import run_metadata
 
-__all__ = ["CHECKPOINT_FORMAT", "CheckpointInfo", "ModelRegistry"]
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CheckpointInfo",
+    "ModelRegistry",
+    "weights_digest",
+]
 
 CHECKPOINT_FORMAT = 1
 
@@ -50,6 +69,14 @@ class CheckpointInfo:
     version: str
     path: Path
     meta: dict
+
+    @property
+    def digest(self) -> "str | None":
+        return self.meta.get("digest")
+
+    @property
+    def parent(self) -> "str | None":
+        return self.meta.get("parent")
 
 
 def _pairs_of(source: Any) -> "list[PredictorPair]":
@@ -71,6 +98,29 @@ def _pairs_of(source: Any) -> "list[PredictorPair]":
     if not pairs or not all(isinstance(p, PredictorPair) for p in pairs):
         raise TypeError("source must provide a non-empty list of PredictorPair")
     return pairs
+
+
+def weights_digest(source: Any) -> str:
+    """Deterministic SHA-256 (hex) over a source's predictor weights.
+
+    Hashes parameter names and raw array bytes (plus the fitted
+    standardizer), so two runs producing identical weights produce
+    identical digests regardless of when the checkpoint files were
+    written.  This is the identity carried in ``serve/hot_swap`` replay
+    breadcrumbs.
+    """
+    h = hashlib.sha256()
+    for i, pair in enumerate(_pairs_of(source)):
+        for head_name, head in (("time", pair.time), ("rel", pair.reliability)):
+            h.update(f"{i}/{head_name}".encode())
+            for name, arr in sorted(head.state_dict().items()):
+                h.update(name.encode())
+                h.update(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
+        std = pair.time.standardizer
+        if std is not None:
+            h.update(np.ascontiguousarray(std.mean, dtype=np.float64).tobytes())
+            h.update(np.ascontiguousarray(std.std, dtype=np.float64).tobytes())
+    return h.hexdigest()
 
 
 class ModelRegistry:
@@ -112,6 +162,51 @@ class ModelRegistry:
         return CheckpointInfo(version=version, path=path, meta=meta)
 
     # ------------------------------------------------------------------ #
+    # Live pointer + lineage.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _live_path(self) -> Path:
+        return self.root / "live.json"
+
+    def live(self) -> "str | None":
+        """Version the live pointer names, or ``None`` when never set."""
+        if not self._live_path.exists():
+            return None
+        with open(self._live_path) as fh:
+            return json.load(fh)["version"]
+
+    def set_live(self, version: str) -> CheckpointInfo:
+        """Promote ``version`` to live (it must exist); returns its info."""
+        info = self.info(version)  # raises KeyError for unknown versions
+        with open(self._live_path, "w") as fh:
+            json.dump({"version": version}, fh)
+        return info
+
+    def rollback(self) -> CheckpointInfo:
+        """Move the live pointer to the live version's parent.
+
+        Raises ``KeyError`` when no live version is set and ``ValueError``
+        when the live version records no parent (nothing to roll back to).
+        """
+        live = self.live()
+        if live is None:
+            raise KeyError(f"registry {self.root} has no live version to roll back")
+        parent = self.info(live).parent
+        if parent is None:
+            raise ValueError(f"live version {live} has no parent to roll back to")
+        return self.set_live(parent)
+
+    def lineage(self, version: "str | None" = None) -> "list[str]":
+        """Parent chain starting at ``version`` (default live), oldest last."""
+        v = version if version is not None else self.live()
+        chain: "list[str]" = []
+        while v is not None and v not in chain:
+            chain.append(v)
+            v = self.info(v).parent
+        return chain
+
+    # ------------------------------------------------------------------ #
     # Save / load.
     # ------------------------------------------------------------------ #
 
@@ -122,15 +217,20 @@ class ModelRegistry:
         config: Any = None,
         metrics: "dict[str, float] | None" = None,
         tag: "str | None" = None,
+        parent: "str | None" = None,
     ) -> CheckpointInfo:
         """Register the source's current weights as the next version.
 
         ``config`` is stored as its repr (training configs are dataclasses
         with informative reprs); ``metrics`` is an arbitrary scalar dict
         (validation regret, final loss, ...); ``tag`` is a free-form label
-        (e.g. ``"nightly-retrain"``).
+        (e.g. ``"nightly-retrain"``); ``parent`` records the version this
+        checkpoint was refit from (retrain lineage — consumed by
+        :meth:`rollback`).  Saving never moves the live pointer.
         """
         pairs = _pairs_of(source)
+        if parent is not None and parent not in self:
+            raise KeyError(f"parent version {parent!r} is not registered")
         latest = self.latest()
         version = f"v{(int(latest[1:]) + 1) if latest else 1:04d}"
         path = self.root / version
@@ -155,6 +255,8 @@ class ModelRegistry:
             ),
             "metrics": dict(metrics or {}),
             "tag": tag,
+            "parent": parent,
+            "digest": weights_digest(pairs),
             **run_metadata(config=config),
         }
         with open(path / "meta.json", "w") as fh:
@@ -164,12 +266,13 @@ class ModelRegistry:
     def load_into(self, target: Any, version: "str | None" = None) -> CheckpointInfo:
         """Restore a version's weights into ``target`` in place.
 
-        ``version=None`` loads the latest.  The target must already have
-        the matching architecture (cluster count is validated here; layer
-        shapes by :meth:`Module.load_state_dict`).
+        ``version=None`` loads the live version when the pointer is set,
+        else the latest.  The target must already have the matching
+        architecture (cluster count is validated here; layer shapes by
+        :meth:`Module.load_state_dict`).
         """
         if version is None:
-            version = self.latest()
+            version = self.live() or self.latest()
             if version is None:
                 raise KeyError(f"registry {self.root} has no checkpoints")
         info = self.info(version)

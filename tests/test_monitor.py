@@ -33,12 +33,16 @@ from repro.monitor import (
     SLOMonitor,
     SLORule,
     TraceReplay,
-    build_stack,
     prometheus_text,
     sanitize_name,
-    serve_params,
 )
-from repro.serve import Dispatcher, PoissonLoad, ServeStats
+from repro.serve import (
+    Dispatcher,
+    PoissonLoad,
+    ServeConfig,
+    ServeStats,
+    build_stack,
+)
 from repro.serve.dispatcher import WindowSnapshot
 from repro.telemetry import load_run, recording
 from repro.utils.rng import as_generator
@@ -353,15 +357,16 @@ class TestPrometheusExport:
 # --------------------------------------------------------------------- #
 
 
-REPLAY_PARAMS = serve_params(pool_size=20, seed=0, train_epochs=5,
-                             solver_tol=1e-4, solver_max_iters=300,
-                             max_batch=12)
+REPLAY_CONFIG = ServeConfig(pool_size=20, seed=0, train_epochs=5,
+                            solver_tol=1e-4, solver_max_iters=300,
+                            max_batch=12)
+REPLAY_PARAMS = REPLAY_CONFIG.to_params()
 
 
 @pytest.fixture(scope="module")
 def replay_stack():
     """One trained stack reused across every replay of the same params."""
-    return build_stack(REPLAY_PARAMS)
+    return build_stack(REPLAY_CONFIG)
 
 
 @pytest.fixture(scope="module")
