@@ -102,8 +102,16 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="run the dispatcher once and summarize")
     p_run.add_argument("--shed-policy", choices=["reject", "drop_oldest"],
                        default="reject")
+    p_run.add_argument("--warm-start", choices=["cache", "learned", "off"],
+                       default="cache",
+                       help="window seed source: last-window cache, cache + "
+                            "online-trained learned head on misses, or cold")
     p_run.add_argument("--no-warm-start", action="store_true",
-                       help="disable the warm-start solver cache")
+                       help="legacy alias for --warm-start off")
+    p_run.add_argument("--solve-mode", choices=["scalar", "blocks"],
+                       default="scalar",
+                       help="dense per-window solve, or block-decomposed "
+                            "batched solve for large windows")
     p_run.add_argument("--train-epochs", type=int, default=120,
                        help="TSM predictor training epochs")
     p_run.add_argument("--monitor", action="store_true",
@@ -336,7 +344,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_wait_hours=args.max_wait,
         queue_capacity=args.queue_capacity,
         shed_policy=args.shed_policy,
-        warm_start=not args.no_warm_start,
+        warm_start="off" if args.no_warm_start else args.warm_start,
+        solve_mode=args.solve_mode,
         monitor=monitor_cfg,
         retrain=retrain_cfg,
         registry_root=args.registry if args.retrain else None,
@@ -365,6 +374,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"mean solver iterations/window: {stats.mean_solver_iterations:.1f}")
     if stats.cache:
         print(f"warm-start cache: {stats.cache}")
+    if stats.seed_sources:
+        print(f"seed sources: {stats.seed_sources}")
     monitor = platform.monitor
     if monitor is not None:
         summary = monitor.summary()

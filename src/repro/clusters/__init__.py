@@ -13,6 +13,7 @@ from repro.clusters.catalog import (
     make_cluster,
     make_pool,
     make_setting,
+    make_specialist_pool,
 )
 from repro.clusters.reliability import ReliabilityModel
 
@@ -29,4 +30,5 @@ __all__ = [
     "make_cluster",
     "make_pool",
     "make_setting",
+    "make_specialist_pool",
 ]

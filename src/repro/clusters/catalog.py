@@ -25,6 +25,7 @@ __all__ = [
     "make_cluster",
     "make_setting",
     "make_pool",
+    "make_specialist_pool",
     "SETTINGS",
 ]
 
@@ -179,3 +180,52 @@ def make_pool(
     names = list(archetypes or ARCHETYPES)
     chosen = rng.choice(names, size=m, replace=m > len(names))
     return [make_cluster(str(a), i) for i, a in enumerate(chosen)]
+
+
+def make_specialist_pool(
+    m: int, *, on_affinity: float = 1.25, off_affinity: float = 0.10
+) -> list[Cluster]:
+    """A fleet of family-specialized clusters (the sharded-platform regime).
+
+    The catalog's generalist affinities (~0.45-1.35) keep every cluster
+    plausible for every task — deliberate for the paper's settings, but it
+    means the task-cluster viability graph is one connected component and
+    block decomposition has nothing to split.  Real exchange platforms
+    also contain *specialist* shards (a transformer pod is 10x+ off-pace
+    on RNNs); this builder amplifies the catalog's hardware into one
+    specialist per workload :class:`~repro.workloads.specs.Family`,
+    round-robin over families and archetypes, keeping each archetype's
+    speed, memory, reliability, and response shape but replacing its
+    affinity map with ``on_affinity`` for its own family and
+    ``off_affinity`` for the rest.  The resulting execution-time spread
+    (≈ ``on/off`` ≥ 10x) makes the viability components split by family —
+    the scaling benchmark's block-structured instances.  Deterministic:
+    no RNG.
+    """
+    if m <= 0:
+        raise ValueError(f"m must be positive, got {m}")
+    if not (0 < off_affinity < on_affinity):
+        raise ValueError("need 0 < off_affinity < on_affinity")
+    families = list(Family)
+    arch = list(ARCHETYPES.values())
+    clusters = []
+    for i in range(m):
+        fam = families[i % len(families)]
+        hw0, shape, util, strength = arch[i % len(arch)]
+        hw = HardwareProfile(
+            name=f"spec-{fam.value}-{i}",
+            peak_tflops=hw0.peak_tflops,
+            mem_bandwidth_gbs=hw0.mem_bandwidth_gbs,
+            memory_gb=hw0.memory_gb,
+            family_affinity={f: (on_affinity if f is fam else off_affinity)
+                             for f in families},
+            base_reliability=hw0.base_reliability,
+            hazard_per_hour=hw0.hazard_per_hour,
+        )
+        clusters.append(Cluster(
+            cluster_id=i,
+            perf=PerfModel(hardware=hw, shape=shape, base_utilization=util,
+                           shape_strength=strength),
+            rel=ReliabilityModel(hardware=hw),
+        ))
+    return clusters

@@ -17,6 +17,15 @@ from repro.matching.batch import (
     solve_relaxed_batch,
 )
 from repro.matching.batch_vjp import BatchKKTGradients, batch_kkt_vjp
+from repro.matching.blocks import (
+    Block,
+    BlockConfig,
+    BlockSolution,
+    BlockStructure,
+    analyze_blocks,
+    solve_relaxed_blocks,
+    viability_mask,
+)
 from repro.matching.exact import ExactSolution, solve_branch_and_bound, solve_bruteforce
 from repro.matching.frank_wolfe import FrankWolfeConfig, solve_frank_wolfe
 from repro.matching.kkt import KKTGradients, kkt_jacobians, kkt_vjp
@@ -93,6 +102,13 @@ __all__ = [
     "clamp_predictions_batch",
     "BatchKKTGradients",
     "batch_kkt_vjp",
+    "BlockConfig",
+    "Block",
+    "BlockStructure",
+    "BlockSolution",
+    "viability_mask",
+    "analyze_blocks",
+    "solve_relaxed_blocks",
     "KKTGradients",
     "kkt_vjp",
     "kkt_jacobians",

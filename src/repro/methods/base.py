@@ -169,6 +169,8 @@ class BaseMethod(ABC):
         x0: np.ndarray | None = None,
         solver: SolverConfig | None = None,
         predictions: "tuple[np.ndarray, np.ndarray] | None" = None,
+        solve_mode: str = "scalar",
+        block_config=None,
     ) -> Decision:
         """The deployment pipeline with its serving hooks exposed.
 
@@ -186,12 +188,27 @@ class BaseMethod(ABC):
             Precomputed ``(T̂, Â)`` matrices — the serving layer memoizes
             predictor forward passes for repeated task specs and injects
             them here instead of re-running :meth:`predict`.
+        solve_mode:
+            ``"scalar"`` (default) runs the dense
+            :func:`~repro.matching.relaxed.solve_relaxed`; ``"blocks"``
+            runs :func:`~repro.matching.blocks.solve_relaxed_blocks` —
+            decompose into viability components, solve as one batched
+            float32 instance (``block_config`` is its
+            :class:`~repro.matching.blocks.BlockConfig`).
         """
         if not self._fitted:
             raise RuntimeError(f"{self.name}: decide() called before fit()")
+        if solve_mode not in ("scalar", "blocks"):
+            raise ValueError(f"unknown solve_mode {solve_mode!r}")
         T_hat, A_hat = self.predict(tasks) if predictions is None else predictions
         problem = self._decision_problem(true_problem.with_predictions(T_hat, A_hat))
-        sol = solve_relaxed(problem, solver or self._solver_config(), x0=x0)
+        cfg = solver or self._solver_config()
+        if solve_mode == "blocks":
+            from repro.matching.blocks import solve_relaxed_blocks
+
+            sol = solve_relaxed_blocks(problem, cfg, block_config=block_config, x0=x0)
+        else:
+            sol = solve_relaxed(problem, cfg, x0=x0)
         return Decision(X=round_assignment(sol.X, problem), relaxed=sol, problem=problem)
 
     def _decision_problem(self, problem: MatchingProblem) -> MatchingProblem:

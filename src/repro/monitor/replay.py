@@ -191,9 +191,18 @@ class TraceReplay:
         runs start from an empty registry, so a scratch root regenerates
         the same version sequence) — and the retrain cascade re-fires
         during the replay.  Plain runs rebuild only the dispatcher.
+
         Hot-swaps logged *without* a retrain section came from an
-        external swap schedule whose checkpoints the log does not carry;
-        those remain non-replayable.
+        external ``swap_schedule`` whose checkpoints the log does not
+        carry.  For those, ``registry_root`` names the *original*
+        registry (or a copy): each logged swap's version is looked up
+        there and its stored weights digest checked against the logged
+        breadcrumb before any replay runs — a registry whose checkpoints
+        were retrained since the run fails fast instead of silently
+        replaying different weights.  The schedule is then rebuilt from
+        the breadcrumbs and the replay re-applies the same swaps at the
+        same windows.  Without ``registry_root`` such logs remain
+        non-replayable.
 
         ``stack`` accepts a prebuilt :func:`repro.serve.build_stack`
         result so tests replaying one log several times train the
@@ -210,14 +219,38 @@ class TraceReplay:
                                                registry_root=tmp)
                     return self._drive(platform.dispatcher, platform.pool, extra)
             return self._drive(platform.dispatcher, platform.pool, extra)
-        if self._swaps:
+        if self._swaps and registry_root is None:
             raise ValueError(
                 "log contains serve/hot_swap events but no retrain config; "
                 "schedule-driven hot-swaps need the original checkpoint "
-                "registry, which the log does not carry"
+                "registry — pass replay(registry_root=...) pointing at it"
             )
+        registry = None
+        swap_schedule = None
+        if self._swaps:
+            from repro.serve.registry import ModelRegistry
+
+            registry = ModelRegistry(registry_root)
+            swap_schedule = {}
+            for ev in self._swaps:
+                version = str(ev["version"])
+                if version not in registry:
+                    raise ValueError(
+                        f"logged swap @window {ev.get('window')} names version "
+                        f"{version!r}, not present in registry {registry_root}"
+                    )
+                logged = ev.get("digest")
+                stored = registry.info(version).digest
+                if logged is not None and stored != logged:
+                    raise ValueError(
+                        f"registry {registry_root} version {version} digest "
+                        f"{stored!r} does not match the logged swap digest "
+                        f"{logged!r} — checkpoint changed since the run"
+                    )
+                swap_schedule[int(ev["window"])] = version
         pool, clusters, method, spec, config = stack or _build_stack(self.config)
         dispatcher = Dispatcher(clusters, method, spec, config,
+                                registry=registry, swap_schedule=swap_schedule,
                                 callbacks=callbacks)
         return self._drive(dispatcher, pool, [])
 

@@ -32,6 +32,11 @@ from repro.retrain.buffer import Label, LabelDataset, ReplayBuffer
 from repro.retrain.canary import CanaryDecision, CanaryGate, CanaryWindow
 from repro.retrain.loop import RetrainConfig, RetrainController
 from repro.retrain.policy import RefitJob
+from repro.retrain.warmstart import (
+    WarmStartTrainer,
+    WarmStartTrainerConfig,
+    fit_warm_start_head,
+)
 
 __all__ = [
     "Label",
@@ -43,4 +48,7 @@ __all__ = [
     "CanaryGate",
     "RetrainConfig",
     "RetrainController",
+    "WarmStartTrainer",
+    "WarmStartTrainerConfig",
+    "fit_warm_start_head",
 ]

@@ -1,0 +1,174 @@
+"""Online trainer for the learned warm-start head (serve callback).
+
+The :class:`~repro.serve.warmstart.WarmStartHead` needs ``(task features,
+relaxed column)`` pairs; the serving loop produces them for free — every
+dispatched window's :class:`~repro.serve.dispatcher.WindowSnapshot` now
+carries ``X_relaxed``, the interior solution of the decision solve.  This
+module closes that loop: :class:`WarmStartTrainer` rides along as a
+:class:`~repro.serve.dispatcher.ServeCallback`, harvests labels, refits
+the head every ``refit_every`` windows once ``min_labels`` have
+accumulated, and installs the result as ``dispatcher.warm_model`` — from
+which point cache-miss windows open from the head's prediction instead of
+cold (guarded by the solver's cold-start hedge either way).
+
+Causality rules mirror the predictor label harvester
+(:mod:`repro.retrain.buffer`):
+
+- only *full-fleet* windows are harvested — the head predicts columns
+  over the whole fleet, and a degraded window's renormalized columns are
+  optima of a different (sliced) problem;
+- a hot-swap voids the buffer (``dispatcher.swap_epoch``): the old
+  labels were relaxed optima of the *old* model's predicted problems;
+- labels deduplicate per task id, newest wins, bounded by
+  ``max_labels`` (oldest evicted) — deterministic, no RNG anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serve.dispatcher import ServeCallback, WindowSnapshot
+from repro.serve.warmstart import WarmStartHead
+from repro.telemetry import get_recorder
+
+__all__ = ["WarmStartTrainer", "WarmStartTrainerConfig", "fit_warm_start_head"]
+
+
+@dataclass(frozen=True)
+class WarmStartTrainerConfig:
+    """Knobs of the online warm-start head trainer."""
+
+    min_labels: int = 32  # first fit waits for this many distinct tasks
+    refit_every: int = 8  # windows between refits once warmed up
+    max_labels: int = 2048  # label buffer cap (oldest evicted)
+    epochs: int = 120
+    lr: float = 0.5
+    l2: float = 1e-3
+    min_confidence: float = 1.25  # forwarded to WarmStartHead
+
+    def __post_init__(self) -> None:
+        if self.min_labels <= 0 or self.refit_every <= 0 or self.max_labels <= 0:
+            raise ValueError("min_labels, refit_every and max_labels must be positive")
+        if self.max_labels < self.min_labels:
+            raise ValueError("max_labels must be >= min_labels")
+        if self.epochs <= 0 or self.lr <= 0:
+            raise ValueError("epochs and lr must be positive")
+
+
+def fit_warm_start_head(
+    snapshots: "list[WindowSnapshot]",
+    cluster_ids: "list[int]",
+    *,
+    config: "WarmStartTrainerConfig | None" = None,
+) -> WarmStartHead:
+    """Offline fit: one head from a harvested snapshot list.
+
+    Convenience for replaying a recorded run into a head (e.g. to bundle
+    with a registry checkpoint).  Uses the same harvesting rules as the
+    online trainer; raises when no snapshot yields labels.
+    """
+    cfg = config or WarmStartTrainerConfig()
+    fleet = tuple(int(c) for c in cluster_ids)
+    labels: "dict[int, tuple[np.ndarray, np.ndarray]]" = {}
+    for snap in snapshots:
+        _harvest(snap, fleet, labels, cfg.max_labels)
+    if not labels:
+        raise ValueError("no full-fleet snapshots with relaxed solutions to fit on")
+    Z = np.stack([z for z, _ in labels.values()])
+    C = np.stack([c for _, c in labels.values()])
+    head = WarmStartHead(Z.shape[1], fleet, l2=cfg.l2,
+                         min_confidence=cfg.min_confidence)
+    return head.fit(Z, C, epochs=cfg.epochs, lr=cfg.lr)
+
+
+def _harvest(
+    snap: WindowSnapshot,
+    fleet: "tuple[int, ...]",
+    labels: "dict[int, tuple[np.ndarray, np.ndarray]]",
+    cap: int,
+) -> int:
+    """Fold one snapshot into the label dict; returns labels added."""
+    if snap.X_relaxed is None or snap.features is None:
+        return 0
+    if tuple(snap.cluster_ids) != fleet:
+        return 0  # degraded fleet: sliced problem, wrong label space
+    added = 0
+    for j, task_id in enumerate(snap.task_ids):
+        key = int(task_id)
+        # Newest label wins and moves to the back of the eviction order.
+        labels.pop(key, None)
+        labels[key] = (snap.features[j], snap.X_relaxed[:, j])
+        added += 1
+        while len(labels) > cap:
+            labels.pop(next(iter(labels)))
+    return added
+
+
+class WarmStartTrainer(ServeCallback):
+    """Serve callback that keeps the dispatcher's warm-start head fresh."""
+
+    def __init__(self, config: "WarmStartTrainerConfig | None" = None) -> None:
+        self.config = config or WarmStartTrainerConfig()
+        self.dispatcher = None
+        self.head: "WarmStartHead | None" = None
+        self._labels: "dict[int, tuple[np.ndarray, np.ndarray]]" = {}
+        self._epoch = 0  # dispatcher.swap_epoch the buffer belongs to
+        self._since_fit = 0
+        self.fits = 0
+        self.harvested = 0
+        self.invalidated = 0
+
+    def bind(self, dispatcher) -> "WarmStartTrainer":
+        """Attach to the dispatcher whose windows this trainer observes."""
+        self.dispatcher = dispatcher
+        self._epoch = dispatcher.swap_epoch
+        return self
+
+    # ------------------------------------------------------------------ #
+
+    def on_window(self, snapshot: WindowSnapshot) -> None:
+        if self.dispatcher is None:
+            raise RuntimeError("WarmStartTrainer.bind(dispatcher) was never called")
+        rec = get_recorder()
+        if self.dispatcher.swap_epoch != self._epoch:
+            # Hot-swap since the last window: every buffered label is a
+            # relaxed optimum of the *old* model's problems.  Start over
+            # (apply_swap already replaced/cleared the live head).
+            self._labels.clear()
+            self._epoch = self.dispatcher.swap_epoch
+            self._since_fit = 0
+            self.invalidated += 1
+            if rec.enabled:
+                rec.counter_add("warmstart/buffer_invalidated")
+        fleet = tuple(c.cluster_id for c in self.dispatcher.clusters)
+        n = _harvest(snapshot, fleet, self._labels, self.config.max_labels)
+        self.harvested += n
+        if rec.enabled and n:
+            rec.counter_add("warmstart/labels_harvested", n)
+        self._since_fit += 1
+        if (len(self._labels) >= self.config.min_labels
+                and self._since_fit >= self.config.refit_every):
+            self._refit(fleet)
+            self._since_fit = 0
+
+    def _refit(self, fleet: "tuple[int, ...]") -> None:
+        cfg = self.config
+        Z = np.stack([z for z, _ in self._labels.values()])
+        C = np.stack([c for _, c in self._labels.values()])
+        if self.head is None or self.head.cluster_ids != fleet:
+            self.head = WarmStartHead(Z.shape[1], fleet, l2=cfg.l2,
+                                      min_confidence=cfg.min_confidence)
+        self.head.fit(Z, C, epochs=cfg.epochs, lr=cfg.lr)
+        self.dispatcher.warm_model = self.head
+        self.fits += 1
+        rec = get_recorder()
+        if rec.enabled:
+            rec.counter_add("warmstart/refits")
+
+    def __repr__(self) -> str:
+        return (
+            f"WarmStartTrainer(labels={len(self._labels)}, fits={self.fits}, "
+            f"invalidated={self.invalidated})"
+        )

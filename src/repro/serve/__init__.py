@@ -38,6 +38,7 @@ from repro.serve.loadgen import (
     DiurnalLoad,
     PoissonLoad,
     make_load,
+    run_scaling_benchmark,
     run_serve_benchmark,
 )
 from repro.serve.config import Platform, ServeConfig, build_platform, build_stack
@@ -47,6 +48,7 @@ from repro.serve.registry import (
     ModelRegistry,
     weights_digest,
 )
+from repro.serve.warmstart import WarmStartHead
 
 __all__ = [
     "ServeConfig",
@@ -61,6 +63,7 @@ __all__ = [
     "ServeCallback",
     "WindowSnapshot",
     "WarmStartCache",
+    "WarmStartHead",
     "PredictionMemo",
     "batch_size_bucket",
     "make_cache_key",
@@ -73,4 +76,5 @@ __all__ = [
     "DiurnalLoad",
     "make_load",
     "run_serve_benchmark",
+    "run_scaling_benchmark",
 ]

@@ -43,6 +43,8 @@ if TYPE_CHECKING:  # layering: monitor/retrain import serve, not vice versa
 __all__ = ["ServeConfig", "Platform", "build_platform"]
 
 _SHED_POLICIES = ("reject", "drop_oldest")
+_WARM_STARTS = ("cache", "learned", "off")
+_SOLVE_MODES = ("scalar", "blocks")
 
 
 @dataclass(frozen=True)
@@ -65,7 +67,15 @@ class ServeConfig:
     max_wait_hours: float = 0.25
     queue_capacity: int = 128
     shed_policy: str = "reject"
-    warm_start: bool = True
+    #: Window-seed source: ``"cache"`` (last-window columns, the historical
+    #: ``True``), ``"learned"`` (cache first, then the online-trained
+    #: :class:`~repro.serve.warmstart.WarmStartHead` on misses), or
+    #: ``"off"`` (always cold, the historical ``False``).  Booleans are
+    #: accepted and normalized for back-compat with old logs/callers.
+    warm_start: str = "cache"
+    #: ``"scalar"`` = dense per-window solve (default; byte-identical
+    #: traces), ``"blocks"`` = block-decomposed batched solve.
+    solve_mode: str = "scalar"
     monitor: "MonitorConfig | None" = None
     retrain: "RetrainConfig | None" = None
     #: Checkpoint registry directory; required when ``retrain`` is set.
@@ -81,6 +91,15 @@ class ServeConfig:
         if self.shed_policy not in _SHED_POLICIES:
             raise ValueError(
                 f"shed_policy must be one of {_SHED_POLICIES}, got {self.shed_policy!r}")
+        if isinstance(self.warm_start, bool):  # legacy boolean knob
+            object.__setattr__(self, "warm_start",
+                               "cache" if self.warm_start else "off")
+        if self.warm_start not in _WARM_STARTS:
+            raise ValueError(
+                f"warm_start must be one of {_WARM_STARTS}, got {self.warm_start!r}")
+        if self.solve_mode not in _SOLVE_MODES:
+            raise ValueError(
+                f"solve_mode must be one of {_SOLVE_MODES}, got {self.solve_mode!r}")
 
     # ------------------------------------------------------------------ #
     # JSON round-trip (meta["serve"] in run logs; CLI flag plumbing).
@@ -100,6 +119,7 @@ class ServeConfig:
             "queue_capacity": self.queue_capacity,
             "shed_policy": self.shed_policy,
             "warm_start": self.warm_start,
+            "solve_mode": self.solve_mode,
             "monitor": asdict(self.monitor) if self.monitor is not None else None,
             "retrain": self.retrain.to_params() if self.retrain is not None else None,
             "registry_root": self.registry_root,
@@ -136,7 +156,9 @@ class ServeConfig:
             max_wait_hours=float(params["max_wait_hours"]),
             queue_capacity=int(params["queue_capacity"]),
             shed_policy=str(params["shed_policy"]),
-            warm_start=bool(params["warm_start"]),
+            # Legacy logs store a boolean; __post_init__ normalizes it.
+            warm_start=params["warm_start"],
+            solve_mode=str(params.get("solve_mode", "scalar")),
             monitor=monitor,
             retrain=retrain,
             registry_root=params.get("registry_root"),
@@ -154,13 +176,16 @@ class ServeConfig:
         return SolverConfig(tol=self.solver_tol, max_iters=self.solver_max_iters)
 
     def dispatcher_config(self) -> DispatcherConfig:
+        warm = self.warm_start != "off"
         return DispatcherConfig(
             max_batch=self.max_batch,
             max_wait_hours=self.max_wait_hours,
             queue_capacity=self.queue_capacity,
             shed_policy=self.shed_policy,
-            warm_start=self.warm_start,
-            memoize_predictions=self.warm_start,
+            warm_start=warm,
+            memoize_predictions=warm,
+            learned_seeds=self.warm_start == "learned",
+            solve_mode=self.solve_mode,
         )
 
 
@@ -177,6 +202,7 @@ class Platform:
     monitor: "QualityMonitor | None" = None
     controller: "RetrainController | None" = None
     registry: "ModelRegistry | None" = None
+    trainer: "WarmStartTrainer | None" = None
 
     def load(self, pattern: str = "poisson", rate_per_hour: float = 30.0):
         """A load generator over this platform's pool (CLI pattern names)."""
@@ -266,13 +292,21 @@ def build_platform(
         callbacks.append(monitor)
     if controller is not None:
         callbacks.append(controller)
+    trainer = None
+    if config.warm_start == "learned":
+        from repro.retrain.warmstart import WarmStartTrainer
+
+        trainer = WarmStartTrainer()
+        callbacks.append(trainer)
 
     dispatcher = Dispatcher(clusters, method, spec, dcfg,
                             registry=registry, callbacks=callbacks)
     if controller is not None:
         controller.bind(dispatcher)
+    if trainer is not None:
+        trainer.bind(dispatcher)
     return Platform(
         config=config, pool=pool, clusters=clusters, method=method, spec=spec,
         dispatcher=dispatcher, monitor=monitor, controller=controller,
-        registry=registry,
+        registry=registry, trainer=trainer,
     )

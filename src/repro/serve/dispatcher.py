@@ -100,6 +100,14 @@ class DispatcherConfig:
     jitter_std: float = 0.0  # execution-time lognormal jitter (0 = deterministic)
     warm_start: bool = True
     memoize_predictions: bool = True
+    #: ``"scalar"`` = one dense solve per window (the historical path,
+    #: byte-identical traces); ``"blocks"`` = decompose into viability
+    #: components and solve them as one batched float32 instance
+    #: (:func:`repro.matching.blocks.solve_relaxed_blocks`).
+    solve_mode: str = "scalar"
+    #: Seed cache-miss windows from the learned warm-start head (the
+    #: dispatcher's ``warm_model``) instead of going cold.
+    learned_seeds: bool = False
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0 or self.queue_capacity <= 0:
@@ -110,6 +118,9 @@ class DispatcherConfig:
             raise ValueError(f"unknown shed_policy {self.shed_policy!r}")
         if self.dispatch_overhead_hours < 0 or self.jitter_std < 0:
             raise ValueError("dispatch_overhead_hours and jitter_std must be >= 0")
+        if self.solve_mode not in ("scalar", "blocks"):
+            raise ValueError(f"solve_mode must be 'scalar' or 'blocks', "
+                             f"got {self.solve_mode!r}")
 
 
 @dataclass(frozen=True)
@@ -155,6 +166,9 @@ class ServeStats:
     callback_seconds: float = 0.0
     solver_iterations: list[int] = field(default_factory=list, repr=False)
     batch_sizes: list[int] = field(default_factory=list, repr=False)
+    #: Windows by warm-start seed source: ``{"cache": n, "learned": n,
+    #: "cold": n}`` (default-pipeline windows only).
+    seed_sources: dict = field(default_factory=dict)
     cache: dict = field(default_factory=dict)
     memo: dict = field(default_factory=dict)
     records: list[ServeRecord] = field(default_factory=list, repr=False)
@@ -263,6 +277,11 @@ class WindowSnapshot:
     #: loop pairs with ``realized_hours``/``success`` to form training
     #: examples.  ``None`` only for snapshots built by old code paths.
     features: "np.ndarray | None" = None
+    #: Relaxed interior solution of the window's decision solve, shape
+    #: (m, k) — the soft assignment columns the learned warm-start
+    #: trainer (:mod:`repro.retrain.warmstart`) harvests as labels.
+    #: ``None`` for custom-``decide`` methods (no relaxed solve ran).
+    X_relaxed: "np.ndarray | None" = None
 
     @property
     def batch_size(self) -> int:
@@ -336,6 +355,8 @@ class Dispatcher:
         registry: ModelRegistry | None = None,
         swap_schedule: "dict[int, str] | None" = None,
         callbacks: "Sequence[ServeCallback] | None" = None,
+        warm_model=None,
+        block_config=None,
     ) -> None:
         if not clusters:
             raise ValueError("clusters must be non-empty")
@@ -357,6 +378,18 @@ class Dispatcher:
             self.memo = PredictionMemo() if memo is None else memo
         self.registry = registry
         self.swap_schedule = dict(swap_schedule or {})
+        #: Learned warm-start head (``seed(tasks, cluster_ids)`` protocol,
+        #: see :class:`repro.serve.warmstart.WarmStartHead`).  Consulted on
+        #: cache misses when ``config.learned_seeds`` is set; installed
+        #: here by the :class:`repro.retrain.warmstart.WarmStartTrainer`
+        #: callback or loaded from a registry checkpoint on hot-swap.
+        self.warm_model = warm_model
+        #: Decomposition knobs for ``solve_mode="blocks"`` (``None`` uses
+        #: :class:`repro.matching.blocks.BlockConfig` defaults).
+        self.block_config = block_config
+        #: Bumped on every applied hot-swap; observers holding labels
+        #: harvested from pre-swap windows key invalidation off this.
+        self.swap_epoch = 0
         #: Swap requested mid-run (``(version, reason)``), applied at the
         #: start of the next dispatched window.
         self._pending_swap: "tuple[str, str] | None" = None
@@ -503,6 +536,12 @@ class Dispatcher:
                 # windows report warm "hits" seeded from a stale
                 # objective.  Start the new model cold.
                 self.cache.clear()
+            self.swap_epoch += 1
+            if cfg.learned_seeds:
+                # The old head predicted the old model's relaxed optima;
+                # swap in the checkpoint's bundled head, or drop to cold
+                # seeding until the trainer refits on post-swap windows.
+                self.warm_model = self.registry.load_warm_start(info.version)
             stats.swaps += 1
             stats.swap_events.append({
                 "window": window, "version": info.version,
@@ -534,6 +573,7 @@ class Dispatcher:
             t0 = time.perf_counter()
             iters = 0
             predictions = None
+            relaxed_X = None
             if self._default_decide:
                 # Methods predict rows for the *full* fleet they were
                 # fitted on; with clusters down the rows must be subset to
@@ -553,18 +593,37 @@ class Dispatcher:
                     predictions = (predictions[0][idx], predictions[1][idx])
                 x0 = None
                 solver = None
+                seed_src = "cold"
                 key = make_cache_key([c.cluster_id for c in ups], k)
                 if self.cache is not None:
                     x0 = self.cache.seed(key, tasks, len(ups))
                     solver = self.cache.solver_config(key, self.spec.solver)
+                    if x0 is not None:
+                        seed_src = "cache"
+                if x0 is None and cfg.learned_seeds and self.warm_model is not None:
+                    x0 = self.warm_model.seed(tasks, [c.cluster_id for c in ups])
+                    if x0 is not None:
+                        seed_src = "learned"
                 decision = self.method.decide_full(
-                    problem, tasks, x0=x0, solver=solver, predictions=predictions
+                    problem, tasks, x0=x0, solver=solver, predictions=predictions,
+                    solve_mode=cfg.solve_mode, block_config=self.block_config,
                 )
                 if self.cache is not None:
                     self.cache.store(key, tasks, decision.relaxed)
                 X = decision.X
+                relaxed_X = decision.relaxed.X
                 iters = decision.relaxed.iterations
                 stats.solver_iterations.append(iters)
+                stats.seed_sources[seed_src] = stats.seed_sources.get(seed_src, 0) + 1
+                if rec.enabled:
+                    rec.counter_add(f"serve/seed_{seed_src}")
+                    if seed_src == "learned":
+                        # Seed quality: how much of the seed's per-task
+                        # argmax placement survived the solve.
+                        agree = float(np.mean(
+                            x0.argmax(axis=0) == relaxed_X.argmax(axis=0)))
+                        rec.observe("serve/seed_agreement", agree,
+                                    bounds=(0.1, 0.25, 0.5, 0.75, 0.9, 0.99))
             else:
                 X = self.method.decide(problem, tasks)
             latency = time.perf_counter() - t0
@@ -632,6 +691,7 @@ class Dispatcher:
                     arrived_total=stats.arrived,
                     shed_total=stats.shed,
                     features=np.stack([t.features for t in tasks]),
+                    X_relaxed=relaxed_X,
                 )
                 for cb in self.callbacks:
                     cb.on_window(snapshot)

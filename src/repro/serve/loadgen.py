@@ -48,6 +48,7 @@ __all__ = [
     "DiurnalLoad",
     "make_load",
     "run_serve_benchmark",
+    "run_scaling_benchmark",
 ]
 
 
@@ -334,6 +335,102 @@ def run_serve_benchmark(
         "warm": modes["warm"],
         "monitored": modes["monitored"],
         "warm_start_iters_speedup": round(cold_it / warm_it, 2) if warm_it else None,
+    }
+    if out_path is not None:
+        path = Path(out_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report
+
+
+def run_scaling_benchmark(
+    *,
+    sizes: "tuple[tuple[int, int], ...] | None" = None,
+    seed: int = 0,
+    solver_tol: float = 1e-4,
+    solver_max_iters: int = 3000,
+    smoke: bool = False,
+    out_path: "str | os.PathLike[str] | None" = None,
+) -> dict:
+    """Scalar-vs-blocks window-solve sweep over growing (tasks, clusters).
+
+    One cold solve per mode on each instance — exactly the cache-miss
+    window the decomposition targets.  Instances use the specialist fleet
+    (:func:`repro.clusters.make_specialist_pool`): family-sharded cluster
+    pools whose viability graph splits into per-family components, the
+    regime the ROADMAP's sharded-platform item serves.  ``sizes`` are
+    ``(n_tasks, m_clusters)`` pairs; the defaults sweep to 200x200.
+
+    ``solver_max_iters`` defaults far above the serving-grade cap so the
+    tolerance early-stop — not the cap — ends both solves and the
+    iteration counts are comparable; on stiff 200-task instances the
+    dense solver genuinely needs thousands of normalized steps.
+    """
+    from repro.clusters import make_specialist_pool
+    from repro.matching.blocks import solve_relaxed_blocks
+    from repro.matching.relaxed import SolverConfig, solve_relaxed
+    from repro.methods import MatchSpec
+
+    if sizes is None:
+        sizes = ((32, 8), (64, 16)) if smoke else (
+            (48, 12), (96, 24), (128, 48), (200, 200))
+    solver = SolverConfig(tol=solver_tol, max_iters=solver_max_iters)
+    spec = MatchSpec(solver=solver)
+    entries = []
+    for n_tasks, m_clusters in sizes:
+        pool = TaskPool(n_tasks, rng=seed)
+        clusters = make_specialist_pool(m_clusters)
+        tasks = pool.tasks
+        T = np.stack([c.true_times(tasks) for c in clusters])
+        A = np.stack([c.true_reliabilities(tasks) for c in clusters])
+        problem = spec.build_problem(T, A)
+
+        wall0 = time.perf_counter()
+        scalar = solve_relaxed(problem, solver)
+        scalar_wall = time.perf_counter() - wall0
+        wall0 = time.perf_counter()
+        blocks = solve_relaxed_blocks(problem, solver)
+        blocks_wall = time.perf_counter() - wall0
+
+        ratio = scalar.iterations / blocks.iterations if blocks.iterations else None
+        entries.append({
+            "tasks": n_tasks,
+            "clusters": m_clusters,
+            "scalar": {
+                "iterations": scalar.iterations,
+                "converged": bool(scalar.converged),
+                "wall_s": round(scalar_wall, 4),
+                "objective": round(float(scalar.objective), 6),
+            },
+            "blocks": {
+                "iterations": blocks.iterations,
+                "converged": bool(blocks.converged),
+                "wall_s": round(blocks_wall, 4),
+                "objective": round(float(blocks.objective), 6),
+                "n_blocks": blocks.n_blocks,
+                "block_shapes": [list(s) for s in blocks.block_shapes],
+                "batched_groups": blocks.batched_groups,
+            },
+            "iters_ratio": round(ratio, 2) if ratio else None,
+            # Negative = the decomposed solve reached a *better* barrier
+            # value (per-block step normalization is not dominated by the
+            # globally stiffest component).
+            "objective_gap_rel": round(
+                (float(blocks.objective) - float(scalar.objective))
+                / max(abs(float(scalar.objective)), 1e-12), 6),
+        })
+    ratios = [e["iters_ratio"] for e in entries if e["iters_ratio"]]
+    report = {
+        "benchmark": ("window-solve scaling: dense scalar vs block-decomposed "
+                      "batched solve, cold starts on specialist fleets"),
+        "solver_tol": solver_tol,
+        "solver_max_iters": solver_max_iters,
+        "seed": seed,
+        "entries": entries,
+        "min_iters_ratio": round(min(ratios), 2) if ratios else None,
+        "max_iters_ratio": round(max(ratios), 2) if ratios else None,
     }
     if out_path is not None:
         path = Path(out_path)

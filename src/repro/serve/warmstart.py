@@ -1,0 +1,216 @@
+"""Learned warm-start head: predict the relaxed solution from task features.
+
+The warm-start *cache* only helps for repeated task ids on an unchanged
+fleet; a cold-start window (fresh tasks, post-swap cache flush, off-bucket
+batch) still pays a full descent.  Following "Faster Matchings via Learned
+Duals" (Dinitz et al., PAPERS.md), this module learns the map the cache
+memorizes: a multinomial logistic head from raw task features to the
+task's relaxed assignment *column* over the full cluster fleet, trained on
+``(features, relaxed column)`` pairs harvested from
+:class:`~repro.serve.dispatcher.WindowSnapshot` streams (see
+:mod:`repro.retrain.warmstart` for the online trainer).
+
+The head only ever *seeds* — :func:`repro.matching.relaxed.solve_relaxed`
+and the block driver hedge every seed against the cold interior start, so
+a bad prediction can cost nothing worse than a cold solve.  ``seed``
+additionally declines (returns ``None``) when the head is untrained, the
+fleet contains unknown clusters, or the predicted columns are too diffuse
+to beat a uniform start (the learned analogue of the cache's
+mostly-unseen guard).
+
+Deterministic end to end: full-batch gradient descent, no RNG, and a
+SHA-256 weights digest so registry checkpoints of the head are verifiable
+the same way predictor checkpoints are.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workloads.taskpool import Task
+
+__all__ = ["WarmStartHead"]
+
+#: Strictly positive floor for seeded columns (mirror updates need every
+#: coordinate alive) — matches repro.serve.cache._COL_FLOOR.
+_COL_FLOOR = 1e-6
+
+
+class WarmStartHead:
+    """Multinomial logistic regression ``task features → assignment column``.
+
+    One weight column per cluster of the *full* fleet (``cluster_ids``
+    fixes the row order); outage windows are seeded by slicing the
+    predicted columns to the up clusters and renormalizing.  Targets are
+    soft (the relaxed columns), so the head learns the solver's actual
+    fixed point — split assignments included — not just the argmax.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        cluster_ids: Sequence[int],
+        *,
+        l2: float = 1e-3,
+        min_confidence: float = 1.25,
+    ) -> None:
+        if n_features <= 0 or not cluster_ids:
+            raise ValueError("need n_features > 0 and a non-empty cluster fleet")
+        if l2 < 0 or min_confidence < 0:
+            raise ValueError("l2 and min_confidence must be >= 0")
+        self.n_features = int(n_features)
+        self.cluster_ids = tuple(int(c) for c in cluster_ids)
+        self.l2 = float(l2)
+        #: Seed-confidence guard in units of the uniform probability: a
+        #: seed is offered only when the mean top probability over the up
+        #: clusters exceeds ``min_confidence / m`` — an untrained or
+        #: washed-out head (≈ uniform, top ≈ 1/m) declines.
+        self.min_confidence = float(min_confidence)
+        M = len(self.cluster_ids)
+        self.W = np.zeros((self.n_features, M))
+        self.b = np.zeros(M)
+        self.mean = np.zeros(self.n_features)
+        self.std = np.ones(self.n_features)
+        self.trained = False
+        self.fits = 0
+
+    @property
+    def M(self) -> int:
+        return len(self.cluster_ids)
+
+    # ------------------------------------------------------------------ #
+    # Training.
+    # ------------------------------------------------------------------ #
+
+    def fit(
+        self,
+        Z: np.ndarray,
+        columns: np.ndarray,
+        *,
+        epochs: int = 120,
+        lr: float = 0.5,
+    ) -> "WarmStartHead":
+        """Full-batch gradient descent on soft-target cross-entropy.
+
+        ``Z`` is (n, d) raw task features; ``columns`` is (n, M) relaxed
+        assignment columns (each row on the simplex).  Deterministic:
+        refitting on the same labels reproduces the same weights.
+        """
+        Z = np.asarray(Z, dtype=np.float64)
+        C = np.asarray(columns, dtype=np.float64)
+        if Z.ndim != 2 or Z.shape[1] != self.n_features:
+            raise ValueError(f"Z must be (n, {self.n_features}), got {Z.shape}")
+        if C.shape != (Z.shape[0], self.M):
+            raise ValueError(f"columns must be ({Z.shape[0]}, {self.M}), got {C.shape}")
+        if epochs <= 0 or lr <= 0:
+            raise ValueError("epochs and lr must be positive")
+        n = Z.shape[0]
+        self.mean = Z.mean(axis=0)
+        self.std = np.maximum(Z.std(axis=0), 1e-8)
+        Zs = (Z - self.mean) / self.std
+        # Restart from zero each refit: the label buffer is the state, the
+        # weights a pure function of it (replayable retraining).
+        W = np.zeros_like(self.W)
+        b = np.zeros_like(self.b)
+        for _ in range(int(epochs)):
+            logits = Zs @ W + b
+            logits -= logits.max(axis=1, keepdims=True)
+            P = np.exp(logits)
+            P /= P.sum(axis=1, keepdims=True)
+            G = (P - C) / n
+            W -= lr * (Zs.T @ G + self.l2 * W)
+            b -= lr * G.sum(axis=0)
+        self.W, self.b = W, b
+        self.trained = True
+        self.fits += 1
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Seeding.
+    # ------------------------------------------------------------------ #
+
+    def predict_columns(self, Z: np.ndarray) -> np.ndarray:
+        """Predicted (n, M) assignment columns over the full fleet."""
+        Zs = (np.asarray(Z, dtype=np.float64) - self.mean) / self.std
+        logits = Zs @ self.W + self.b
+        logits -= logits.max(axis=1, keepdims=True)
+        P = np.exp(logits)
+        P /= P.sum(axis=1, keepdims=True)
+        return P
+
+    def seed(
+        self, tasks: "Sequence[Task]", cluster_ids: Sequence[int]
+    ) -> "np.ndarray | None":
+        """A column-stochastic (m, k) warm start for a window, or ``None``.
+
+        ``cluster_ids`` are the window's up clusters; rows are sliced out
+        of the full-fleet prediction and renormalized.  Declines when the
+        head is untrained, a cluster is unknown, or the confidence guard
+        fails — the caller falls through to a cold start.
+        """
+        if not self.trained or not tasks:
+            return None
+        pos = {c: i for i, c in enumerate(self.cluster_ids)}
+        try:
+            rows = [pos[int(c)] for c in cluster_ids]
+        except KeyError:
+            return None
+        P = self.predict_columns(np.stack([t.features for t in tasks]))
+        sub = P[:, rows]
+        totals = sub.sum(axis=1, keepdims=True)
+        if np.any(totals <= 0):
+            return None
+        sub = sub / totals
+        m = len(rows)
+        if float(sub.max(axis=1).mean()) < self.min_confidence / m:
+            return None
+        X0 = sub.T  # (m, k)
+        X0 = np.maximum(X0, _COL_FLOOR)
+        X0 /= X0.sum(axis=0, keepdims=True)
+        return X0
+
+    # ------------------------------------------------------------------ #
+    # Serialization (registry checkpoint artifact).
+    # ------------------------------------------------------------------ #
+
+    def digest(self) -> str:
+        """Deterministic SHA-256 over weights, standardizer and fleet."""
+        h = hashlib.sha256()
+        for arr in (self.W, self.b, self.mean, self.std):
+            h.update(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
+        h.update(np.asarray(self.cluster_ids, dtype=np.int64).tobytes())
+        return h.hexdigest()
+
+    def save(self, path: "str | os.PathLike[str]") -> None:
+        np.savez(
+            path, W=self.W, b=self.b, mean=self.mean, std=self.std,
+            cluster_ids=np.asarray(self.cluster_ids, dtype=np.int64),
+            meta=np.asarray([self.l2, self.min_confidence, float(self.trained)]),
+        )
+
+    @classmethod
+    def load(cls, path: "str | os.PathLike[str]") -> "WarmStartHead":
+        with np.load(path) as data:
+            l2, min_confidence, trained = (float(v) for v in data["meta"])
+            head = cls(
+                n_features=data["W"].shape[0],
+                cluster_ids=[int(c) for c in data["cluster_ids"]],
+                l2=l2, min_confidence=min_confidence,
+            )
+            head.W = data["W"]
+            head.b = data["b"]
+            head.mean = data["mean"]
+            head.std = data["std"]
+            head.trained = bool(trained)
+        return head
+
+    def __repr__(self) -> str:
+        return (
+            f"WarmStartHead(d={self.n_features}, M={self.M}, "
+            f"trained={self.trained}, fits={self.fits})"
+        )

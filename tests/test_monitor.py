@@ -464,3 +464,73 @@ class TestTraceReplay:
         assert rc == 0
         prom = (tmp_path / "metrics.prom").read_text()
         assert "repro_serve_arrived_total" in prom
+
+
+# --------------------------------------------------------------------- #
+# Replaying schedule-driven hot-swaps against the original registry.
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def swap_run_log(tmp_path_factory, replay_stack):
+    """A run whose hot-swap came from an external swap_schedule (no
+    retrain section in the log), recorded with its checkpoint registry."""
+    import io
+
+    from repro.serve import ModelRegistry
+
+    base = tmp_path_factory.mktemp("swap-replay")
+    pool, clusters, method, spec, cfg = replay_stack
+    registry = ModelRegistry(base / "registry")
+    registry.save(method, tag="deploy")
+    events = _events(pool, rate=30.0, horizon=2.0, seed=3)
+    with recording(mode="jsonl", run="swap-run", out_dir=base,
+                   meta={"serve": REPLAY_PARAMS}, stream=io.StringIO()):
+        dispatcher = Dispatcher(clusters, method, spec, cfg,
+                                registry=registry,
+                                swap_schedule={1: "v0001"})
+        stats = dispatcher.run(events, rng=REPLAY_PARAMS["seed"] + 4)
+    assert stats.swaps == 1
+    return base / "swap-run.jsonl", base / "registry", stats
+
+
+class TestScheduleSwapReplay:
+    def test_without_registry_root_is_rejected(self, swap_run_log,
+                                               replay_stack):
+        path, _, _ = swap_run_log
+        replay = TraceReplay.from_log(path)
+        assert replay.swaps and replay.config.retrain is None
+        with pytest.raises(ValueError, match="registry_root"):
+            replay.replay(stack=replay_stack)
+
+    def test_registry_root_reapplies_the_logged_swaps(self, swap_run_log,
+                                                      replay_stack):
+        path, registry_root, original = swap_run_log
+        replay = TraceReplay.from_log(path)
+        stats = replay.replay(stack=replay_stack,
+                              registry_root=str(registry_root))
+        assert replay.verify(stats) == []
+        assert stats.trace_bytes() == original.trace_bytes()
+        assert stats.swaps == 1
+
+    def test_unknown_version_fails_fast(self, swap_run_log, replay_stack,
+                                        tmp_path):
+        path, _, _ = swap_run_log
+        replay = TraceReplay.from_log(path)
+        with pytest.raises(ValueError, match="not present"):
+            replay.replay(stack=replay_stack, registry_root=str(tmp_path))
+
+    def test_retrained_checkpoint_fails_digest_check(self, swap_run_log,
+                                                     replay_stack, tmp_path):
+        from repro.serve import ModelRegistry
+
+        path, _, _ = swap_run_log
+        # A registry whose v0001 holds *different* weights than the run's.
+        config = REPLAY_CONFIG.with_overrides(seed=7)
+        _, _, other_method, _, _ = build_stack(config)
+        imposter = ModelRegistry(tmp_path / "imposter")
+        imposter.save(other_method, tag="retrained-since")
+        replay = TraceReplay.from_log(path)
+        with pytest.raises(ValueError, match="digest"):
+            replay.replay(stack=replay_stack,
+                          registry_root=str(tmp_path / "imposter"))

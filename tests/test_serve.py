@@ -558,3 +558,101 @@ class TestDispatcher:
         assert stats.conserved
         assert stats.solver_iterations == []
         assert all(r.cluster_id == clusters[0].cluster_id for r in stats.records)
+
+
+# --------------------------------------------------------------------- #
+# Block-decomposed serving + learned warm starts (ServeConfig knobs).
+# --------------------------------------------------------------------- #
+
+
+class TestBlocksServing:
+    def test_blocks_mode_preserves_default_trace(self, stack):
+        """On the generalist setting-A fleet the viability graph is one
+        component, so solve_mode="blocks" must reproduce the scalar
+        dispatch trace byte for byte (the soak-SHA compatibility gate)."""
+        pool = stack[0]
+        events = _events(pool, rate=40.0, horizon=3.0)
+        runs = {}
+        for mode in ("scalar", "blocks"):
+            cfg = DispatcherConfig(max_batch=8, solve_mode=mode)
+            runs[mode] = _run(stack, events, cfg=cfg)
+        assert runs["scalar"].conserved and runs["blocks"].conserved
+        assert runs["blocks"].trace_bytes() == runs["scalar"].trace_bytes()
+
+    def test_seed_sources_are_accounted(self, stack):
+        pool = stack[0]
+        events = _events(pool, rate=40.0, horizon=3.0)
+        cfg = DispatcherConfig(max_batch=8, warm_start=True,
+                               memoize_predictions=True)
+        stats = _run(stack, events, cfg=cfg)
+        # Every window's opening point is attributed to exactly one source.
+        assert sum(stats.seed_sources.values()) == stats.windows
+        assert stats.seed_sources.get("cache", 0) > 0
+        assert stats.seed_sources.get("cold", 0) > 0
+
+    def test_learned_mode_end_to_end(self):
+        """warm_start="learned": the trainer harvests relaxed solutions,
+        refits mid-run, installs the head on the dispatcher — and the
+        dispatch trace still matches the default cache-mode run."""
+        from repro.serve import ServeConfig, build_platform
+
+        # Pool must exceed the trainer's min_labels=32: labels dedup by
+        # task_id, so a 20-task pool can never accumulate enough.
+        base = ServeConfig(pool_size=40, seed=0, train_epochs=4,
+                           solver_tol=1e-4, solver_max_iters=300, max_batch=8)
+        traces = {}
+        for ws in ("cache", "learned"):
+            config = base.with_overrides(warm_start=ws)
+            platform = build_platform(config)
+            events = platform.load("poisson", 40.0).draw(
+                4.0, as_generator(config.seed + 3))
+            with recording(mode="summary", stream=io.StringIO()):
+                stats = platform.run(events)
+            traces[ws] = stats.trace_bytes()
+            assert stats.conserved
+            if ws == "learned":
+                assert platform.trainer is not None
+                assert platform.trainer.fits > 0
+                assert platform.dispatcher.warm_model is platform.trainer.head
+        assert traces["learned"] == traces["cache"]
+
+
+class TestWarmStartRegistry:
+    def _trained_head(self):
+        from repro.serve import WarmStartHead
+
+        rng = np.random.default_rng(0)
+        d = TaskPool(1, rng=0).tasks[0].features.shape[0]
+        Z = rng.normal(size=(48, d))
+        C = rng.dirichlet(np.ones(3) * 0.2, size=48)
+        return WarmStartHead(d, [0, 1, 2]).fit(Z, C)
+
+    def test_checkpoint_bundles_head_with_digest(self, stack, tmp_path):
+        _, _, _, method = stack
+        head = self._trained_head()
+        reg = ModelRegistry(tmp_path / "reg")
+        info = reg.save(method, warm_start=head)
+        assert info.meta["warm_start_digest"] == head.digest()
+        loaded = reg.load_warm_start(info.version)
+        assert loaded is not None and loaded.digest() == head.digest()
+        # latest-resolution works too
+        assert reg.load_warm_start().digest() == head.digest()
+
+    def test_checkpoint_without_head_loads_none(self, stack, tmp_path):
+        _, _, _, method = stack
+        reg = ModelRegistry(tmp_path / "reg")
+        info = reg.save(method)
+        assert info.meta["warm_start_digest"] is None
+        assert reg.load_warm_start(info.version) is None
+
+    def test_tampered_head_fails_digest_check(self, stack, tmp_path):
+        _, _, _, method = stack
+        head = self._trained_head()
+        reg = ModelRegistry(tmp_path / "reg")
+        info = reg.save(method, warm_start=head)
+        # Overwrite the stored npz with a differently-fit head.
+        other = self._trained_head()
+        other.W = other.W + 0.5
+        other.save(info.path / "warm_start.npz")
+        with pytest.raises(ValueError, match="digest"):
+            reg.load_warm_start(info.version)
