@@ -4,13 +4,17 @@ Two suites, both recorded in ``BENCH_serve.json`` at the repo root (same
 convention as ``bench_micro.py`` → ``BENCH_train_round.json``):
 
 - **soak** (:func:`repro.serve.run_serve_benchmark`): replays one arrival
-  stream through the micro-batching dispatcher three times — warm-start
-  cache off, on, and on with the quality monitor attached — and reports
-  sustained matching throughput, p50/p95/p99 assignment latency, and the
-  warm/cold mean-solver-iteration ratio, all read back through the
-  telemetry histograms the dispatcher records in production.  The
-  monitored pass gates the observability contract: the monitor must not
-  change the dispatch trace and must cost < 5% of dispatcher wall time.
+  stream through the micro-batching dispatcher four times — warm-start
+  cache off, on, on with the quality monitor attached, and on with the
+  stage profiler attached — and reports sustained matching throughput,
+  p50/p95/p99 assignment latency, the warm/cold mean-solver-iteration
+  ratio, and the profiled run's latency budget, all read back through the
+  telemetry the dispatcher records in production.  The monitored pass
+  gates the observability contract: the monitor must not change the
+  dispatch trace and must cost < 5% of dispatcher wall time.  The
+  profiled pass gates the latency-budget contract: same trace identity,
+  named stages explaining >= 95% of the p95 end-to-end window latency,
+  and hook-call overhead bounds < 2% with the profiler off / < 5% on.
 - **scaling** (:func:`repro.serve.run_scaling_benchmark`): cold
   scalar-vs-blocks window solves on specialist fleets at growing
   ``--tasks x --clusters`` sizes (default sweep up to 200x200) — the
@@ -37,10 +41,12 @@ def test_serve_bench_smoke(tmp_path):
     """Gate (CI): the soak benchmark runs end to end, conserves tasks, and
     the warm dispatcher never does more solver work than the cold one."""
     out = tmp_path / "BENCH_serve.json"
-    report = run_serve_benchmark(smoke=True, out_path=out)
+    flame = tmp_path / "serve_flame.txt"
+    report = run_serve_benchmark(smoke=True, out_path=out,
+                                 flamegraph_path=flame)
     assert out.exists()
     assert json.loads(out.read_text()) == report
-    for mode in ("cold", "warm", "monitored"):
+    for mode in ("cold", "warm", "monitored", "profiled"):
         m = report[mode]
         assert m["windows"] > 0
         assert m["solve_iterations_mean"] > 0
@@ -54,6 +60,23 @@ def test_serve_bench_smoke(tmp_path):
     # dispatch trace) and costs < 5% of dispatcher wall time.
     assert report["monitored"]["trace_sha256"] == report["warm"]["trace_sha256"]
     assert report["monitored"]["monitor_overhead_frac"] < 0.05
+    # Latency-budget contract: profiling is a pure observer too, the
+    # named stages explain >= 95% of the p95 end-to-end window latency,
+    # and the hook-call overhead bounds hold (< 2% off / < 5% on).
+    prof = report["profiled"]
+    assert prof["trace_sha256"] == report["warm"]["trace_sha256"]
+    assert prof["profile"]["coverage_p95"] >= 0.95
+    assert {"form", "predict", "solve", "schedule"} <= set(prof["profile"]["stages"])
+    assert "solve;relaxed" in prof["profile"]["stages"]
+    assert {"admission_wait", "batch_wait"} <= set(prof["profile"]["sim_stages"])
+    assert prof["overhead"]["hook_calls"] > 0
+    assert prof["overhead"]["off_frac_bound"] < 0.02
+    assert prof["overhead"]["on_frac_bound"] < 0.05
+    # Flamegraph artifact: collapsed-stack lines, "frame[;frame] count".
+    lines = flame.read_text().splitlines()
+    assert lines and all(
+        ln.rsplit(" ", 1)[1].isdigit() and ln.startswith("window") for ln in lines
+    )
 
 
 def test_scaling_bench_smoke(tmp_path):
@@ -94,6 +117,9 @@ def main(argv: "list[str] | None" = None) -> None:
                         help="CI-sized run (short soak, small sweep)")
     parser.add_argument("--output", default=str(BENCH_JSON), metavar="PATH",
                         help="combined report path (default: BENCH_serve.json)")
+    parser.add_argument("--flamegraph", default=None, metavar="PATH",
+                        help="write the profiled soak's collapsed-stack "
+                             "profile here (speedscope / flamegraph.pl)")
     args = parser.parse_args(argv)
 
     sizes = None
@@ -105,7 +131,8 @@ def main(argv: "list[str] | None" = None) -> None:
             parser.error("--tasks and --clusters need equal, non-zero lengths")
         sizes = tuple(zip(tasks, clusters))
 
-    report = run_serve_benchmark(smoke=args.smoke)
+    report = run_serve_benchmark(smoke=args.smoke,
+                                 flamegraph_path=args.flamegraph)
     report["scaling"] = run_scaling_benchmark(sizes=sizes, smoke=args.smoke)
     out = Path(args.output)
     out.parent.mkdir(parents=True, exist_ok=True)
@@ -117,6 +144,12 @@ def main(argv: "list[str] | None" = None) -> None:
         f"soak cold iters/window: {report['cold']['solve_iterations_mean']:.1f}  "
         f"warm: {report['warm']['solve_iterations_mean']:.1f}  "
         f"speedup: {report['warm_start_iters_speedup']}x"
+    )
+    prof = report["profiled"]
+    print(
+        f"latency budget coverage_p95: {prof['profile']['coverage_p95']}  "
+        f"overhead bounds: off {prof['overhead']['off_frac_bound']} / "
+        f"on {prof['overhead']['on_frac_bound']}"
     )
     for entry in report["scaling"]["entries"]:
         print(

@@ -19,12 +19,23 @@ Commands
     stream and print the serving summary.  ``--retrain`` attaches the
     closed-loop retraining controller (drift/periodic triggers, canary
     gate, hot-swap + rollback) against a checkpoint registry.
+    ``--profile`` attaches the stage profiler and prints the latency
+    budget (``--flamegraph`` exports the collapsed-stack profile);
+    ``--metrics-port`` serves live ``/metrics`` + ``/snapshot`` HTTP
+    endpoints during the run (``--metrics-hold`` keeps them up after);
+    ``--shard`` labels every recorded series for fleet aggregation.
+``serve top``
+    Terminal dashboard refreshing against a running serve run's
+    ``/snapshot`` endpoint: queue depth, seed sources, per-stage
+    latency budgets, SLO burn rates.
 ``serve bench``
     Cold-vs-warm serving soak benchmark (``--smoke`` for the CI-sized
-    run, ``--output`` to write a ``BENCH_serve.json``-shaped report).
+    run, ``--output`` to write a ``BENCH_serve.json``-shaped report,
+    ``--flamegraph`` to export the profiled pass's collapsed stacks).
 ``monitor``
     Render a monitoring snapshot (Prometheus text exposition + alert
-    listing) from a JSONL telemetry run log.
+    listing) from a JSONL telemetry run log.  Repeat ``--log`` to merge
+    several shard-labeled runs into one fleet-level view.
 ``replay``
     Deterministically re-drive a serving run from its JSONL log and
     verify the replay against the logged final counters (including the
@@ -139,6 +150,33 @@ def build_parser() -> argparse.ArgumentParser:
                             "runs)")
     p_run.add_argument("--telemetry", choices=["off", "summary", "jsonl"],
                        default="summary")
+    p_run.add_argument("--profile", action="store_true",
+                       help="attach the stage profiler and print the "
+                            "per-window latency budget")
+    p_run.add_argument("--flamegraph", default=None, metavar="PATH",
+                       help="write the collapsed-stack profile here "
+                            "(speedscope / flamegraph.pl; implies --profile)")
+    p_run.add_argument("--metrics-port", type=int, default=None, metavar="N",
+                       help="serve live /metrics + /snapshot HTTP endpoints "
+                            "on this port during the run (0 = ephemeral)")
+    p_run.add_argument("--metrics-hold", type=float, default=0.0,
+                       metavar="SECS",
+                       help="keep the metrics endpoint up this long after "
+                            "the run drains (for a final scrape / top)")
+    p_run.add_argument("--shard", default=None, metavar="ID",
+                       help="label every recorded series with shard=ID "
+                            "(fleet runs merge losslessly via "
+                            "'repro monitor --log a --log b')")
+
+    p_top = serve_sub.add_parser(
+        "top", help="terminal dashboard against a run's /snapshot endpoint")
+    p_top.add_argument("url", metavar="URL",
+                       help="metrics endpoint (host:port or http://host:port) "
+                            "of a 'serve run --metrics-port' process")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="refresh period in seconds")
+    p_top.add_argument("--once", action="store_true",
+                       help="render a single frame and exit (scriptable)")
 
     p_bench = serve_sub.add_parser("bench", parents=[common],
                                    help="cold-vs-warm serving soak benchmark")
@@ -146,11 +184,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="CI-sized run (short horizon, small pool)")
     p_bench.add_argument("--output", default=None, metavar="PATH",
                          help="write the JSON report here")
+    p_bench.add_argument("--flamegraph", default=None, metavar="PATH",
+                         help="write the profiled pass's collapsed-stack "
+                              "profile here")
 
     p_mon = sub.add_parser("monitor",
-                           help="monitoring snapshot from a JSONL run log")
-    p_mon.add_argument("--log", required=True, metavar="PATH",
-                       help="telemetry run log (results/telemetry/*.jsonl)")
+                           help="monitoring snapshot from JSONL run log(s)")
+    p_mon.add_argument("--log", required=True, action="append", metavar="PATH",
+                       help="telemetry run log (results/telemetry/*.jsonl); "
+                            "repeat to merge shard-labeled runs into one "
+                            "fleet-level exposition")
     p_mon.add_argument("--prometheus", default=None, metavar="PATH",
                        help="write the Prometheus text exposition here "
                             "(default: print to stdout)")
@@ -279,6 +322,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.serve_command == "top":
+        from repro.monitor import top
+
+        return top(args.url, interval=args.interval,
+                   iterations=1 if args.once else None)
+
     if args.serve_command == "bench":
         from repro.serve import run_serve_benchmark
 
@@ -294,6 +343,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             smoke=args.smoke,
             out_path=args.output,
+            flamegraph_path=args.flamegraph,
         )
         for mode in ("cold", "warm"):
             m = report[mode]
@@ -305,6 +355,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   f"p99={lat['p99'] * 1e3:.1f}ms")
         print(f"warm-start solver-iteration speedup: "
               f"{report['warm_start_iters_speedup']}x")
+        prof = report["profiled"]
+        print(f"latency budget coverage_p95: "
+              f"{prof['profile']['coverage_p95']:.3f}  "
+              f"profiler overhead bounds: "
+              f"off {prof['overhead']['off_frac_bound']} / "
+              f"on {prof['overhead']['on_frac_bound']}")
+        if args.flamegraph:
+            print(f"wrote {args.flamegraph}")
         if args.output:
             print(f"wrote {args.output}")
         return 0
@@ -346,6 +404,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shed_policy=args.shed_policy,
         warm_start="off" if args.no_warm_start else args.warm_start,
         solve_mode=args.solve_mode,
+        profile=args.profile or args.flamegraph is not None,
         monitor=monitor_cfg,
         retrain=retrain_cfg,
         registry_root=args.registry if args.retrain else None,
@@ -365,9 +424,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # The meta["serve"] config plus the serve/arrival, serve/outage and
     # serve/hot_swap breadcrumbs make a jsonl log fully replayable
     # (``repro replay``), retrain-driven swaps included.
-    with recording(mode=args.telemetry, run="serve-run",
-                   meta={"serve": config.to_params()}):
-        stats = platform.run(events)
+    labels = {"shard": args.shard} if args.shard is not None else None
+    # Shard-qualified run name: fleet members each get their own JSONL
+    # log, merged later with 'repro monitor --log a --log b'.
+    run_name = "serve-run" if args.shard is None else f"serve-run-{args.shard}"
+    server = None
+    try:
+        with recording(mode=args.telemetry, run=run_name,
+                       meta={"serve": config.to_params()},
+                       labels=labels) as rec:
+            if args.metrics_port is not None:
+                from repro.monitor import MetricsServer, serve_snapshot
+
+                server = MetricsServer(
+                    lambda: serve_snapshot(
+                        rec,
+                        profiler=platform.profiler,
+                        monitor=platform.monitor,
+                        extra={"run": run_name},
+                    ),
+                    port=args.metrics_port,
+                ).start()
+                print(f"metrics: {server.url}/metrics  "
+                      f"(dashboard: repro serve top {server.url})")
+            stats = platform.run(events)
+            if server is not None and args.metrics_hold > 0:
+                import time as _time
+
+                print(f"holding metrics endpoint {args.metrics_hold:g}s ...")
+                _time.sleep(args.metrics_hold)
+    finally:
+        if server is not None:
+            server.stop()
     print(f"{len(events)} arrivals over {args.horizon:g}h ({args.pattern})")
     print(stats.summary())
     if stats.solver_iterations:
@@ -376,6 +464,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"warm-start cache: {stats.cache}")
     if stats.seed_sources:
         print(f"seed sources: {stats.seed_sources}")
+    if stats.profile:
+        budget = stats.profile
+        print(f"latency budget ({budget['windows']} windows, coverage_p95 "
+              f"{100 * budget['coverage_p95']:.1f}%):")
+        for path, s in budget["stages"].items():
+            if ";" in path:
+                continue  # depth-1 view; nested paths go to the flamegraph
+            print(f"  {path:<10} p95 {1e3 * s['p95']:8.3f} ms  "
+                  f"total {s['total_s']:.3f} s  calls {s['calls']}")
+        unattr = budget["unattributed"]
+        print(f"  {'(unattr)':<10} p95 {1e3 * unattr['p95']:8.3f} ms  "
+              f"total {unattr['total_s']:.3f} s")
+        if args.flamegraph and platform.profiler is not None:
+            out = platform.profiler.write_flamegraph(args.flamegraph)
+            print(f"wrote {out} (collapsed stacks: speedscope / flamegraph.pl)")
     monitor = platform.monitor
     if monitor is not None:
         summary = monitor.summary()
@@ -418,23 +521,31 @@ def _print_retrain_outcome(controller, registry, stats) -> None:
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
     from repro.monitor import prometheus_text
+    from repro.telemetry import merge_aggregates
     from repro.telemetry.jsonl import aggregate_events, load_run, meta_of
 
-    events = load_run(args.log)
-    text = prometheus_text(aggregate_events(events))
+    # One log renders directly; several merge into a fleet-level view
+    # (shard-labeled series stay distinct, identical keys sum).
+    runs = [load_run(path) for path in args.log]
+    text = prometheus_text(merge_aggregates(
+        [aggregate_events(events) for events in runs]))
     if args.prometheus:
         with open(args.prometheus, "w") as fh:
             fh.write(text)
         print(f"wrote {args.prometheus}")
     else:
         print(text, end="")
-    meta = meta_of(events)
-    alerts = [ev for ev in events
-              if ev.get("type") == "event" and ev.get("name") == "alert"]
-    print(f"# run '{meta.get('run')}': {len(alerts)} alert(s)")
-    for ev in alerts:
-        print(f"#   [{ev.get('kind')}] window {ev.get('window')} "
-              f"{ev.get('signal')}/{ev.get('detector')}: {ev.get('message')}")
+    for path, events in zip(args.log, runs):
+        meta = meta_of(events)
+        alerts = [ev for ev in events
+                  if ev.get("type") == "event" and ev.get("name") == "alert"]
+        label = f"run '{meta.get('run')}'"
+        if len(runs) > 1:
+            label += f" ({path})"
+        print(f"# {label}: {len(alerts)} alert(s)")
+        for ev in alerts:
+            print(f"#   [{ev.get('kind')}] window {ev.get('window')} "
+                  f"{ev.get('signal')}/{ev.get('detector')}: {ev.get('message')}")
     return 0
 
 

@@ -171,6 +171,7 @@ class BaseMethod(ABC):
         predictions: "tuple[np.ndarray, np.ndarray] | None" = None,
         solve_mode: str = "scalar",
         block_config=None,
+        profiler=None,
     ) -> Decision:
         """The deployment pipeline with its serving hooks exposed.
 
@@ -195,21 +196,35 @@ class BaseMethod(ABC):
             decompose into viability components, solve as one batched
             float32 instance (``block_config`` is its
             :class:`~repro.matching.blocks.BlockConfig`).
+        profiler:
+            Optional :class:`repro.telemetry.profiler.StageProfiler`.
+            When given, the pipeline's relaxed solve and rounding run
+            under ``relaxed`` / ``rounding`` stages (nested below
+            whatever stage the caller holds open — the dispatcher's
+            ``solve``), so the latency budget splits solver time from
+            rounding time.
         """
         if not self._fitted:
             raise RuntimeError(f"{self.name}: decide() called before fit()")
         if solve_mode not in ("scalar", "blocks"):
             raise ValueError(f"unknown solve_mode {solve_mode!r}")
-        T_hat, A_hat = self.predict(tasks) if predictions is None else predictions
+        if profiler is None:
+            from repro.telemetry.profiler import NULL_PROFILER as profiler
+        with profiler.stage("predict"):
+            T_hat, A_hat = self.predict(tasks) if predictions is None else predictions
         problem = self._decision_problem(true_problem.with_predictions(T_hat, A_hat))
         cfg = solver or self._solver_config()
-        if solve_mode == "blocks":
-            from repro.matching.blocks import solve_relaxed_blocks
+        with profiler.stage("relaxed"):
+            if solve_mode == "blocks":
+                from repro.matching.blocks import solve_relaxed_blocks
 
-            sol = solve_relaxed_blocks(problem, cfg, block_config=block_config, x0=x0)
-        else:
-            sol = solve_relaxed(problem, cfg, x0=x0)
-        return Decision(X=round_assignment(sol.X, problem), relaxed=sol, problem=problem)
+                sol = solve_relaxed_blocks(problem, cfg, block_config=block_config,
+                                           x0=x0)
+            else:
+                sol = solve_relaxed(problem, cfg, x0=x0)
+        with profiler.stage("rounding"):
+            X = round_assignment(sol.X, problem)
+        return Decision(X=X, relaxed=sol, problem=problem)
 
     def _decision_problem(self, problem: MatchingProblem) -> MatchingProblem:
         """Hook for ablations to alter the decision objective."""

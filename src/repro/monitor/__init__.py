@@ -28,8 +28,9 @@ protocol and never imports this package:
 from repro.monitor.attribution import RegretAttributor, WindowAttribution
 from repro.monitor.drift import Cusum, DriftBank, PageHinkley, QuantileWindow
 from repro.monitor.export import prometheus_text, sanitize_name
+from repro.monitor.live import MetricsServer, render_top, serve_snapshot, top
 from repro.monitor.quality import DEFAULT_SLOS, Alert, MonitorConfig, QualityMonitor
-from repro.monitor.replay import ReplayStream, TraceReplay, build_stack, serve_params
+from repro.monitor.replay import ReplayStream, TraceReplay
 from repro.monitor.sinks import AlertSink, CallableSink, FileTailSink
 from repro.monitor.slo import SLOMonitor, SLORule, SLOStatus
 
@@ -54,6 +55,8 @@ __all__ = [
     "sanitize_name",
     "TraceReplay",
     "ReplayStream",
-    "build_stack",
-    "serve_params",
+    "MetricsServer",
+    "serve_snapshot",
+    "render_top",
+    "top",
 ]

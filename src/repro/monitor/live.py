@@ -1,0 +1,333 @@
+"""Live metrics plane: HTTP ``/metrics`` scrape endpoint + terminal top.
+
+PR 4's Prometheus export was an offline text dump — useful after a run,
+invisible during one.  This module puts the same exposition behind a
+stdlib HTTP server that snapshots the *running* recorder, and adds the
+``repro serve top`` terminal dashboard that refreshes against it:
+
+- :class:`MetricsServer` — ``http.server.ThreadingHTTPServer`` on a
+  daemon thread serving ``/metrics`` (Prometheus text),
+  ``/snapshot`` (the full JSON status snapshot ``serve top`` renders)
+  and ``/healthz``.  Every request calls the ``snapshot_fn`` closure,
+  which reads the recorder's aggregate *under the registry lock*
+  (``Recorder.aggregate()`` is lock-guarded), so a scrape mid-window
+  always sees a consistent view and never blocks the serving loop for
+  longer than one snapshot copy;
+- :func:`serve_snapshot` — builds that closure's payload from the live
+  recorder / profiler / quality monitor: canonical aggregate, stage
+  budget, queue/seed/SLO status;
+- :func:`render_top` — a *pure* snapshot → text function (unit-testable
+  without sockets) showing queue depth, seed sources, per-stage latency
+  budgets and SLO burn rates;
+- :func:`top` — the fetch/clear/redraw loop behind ``repro serve top``.
+
+Layering: this sits in :mod:`repro.monitor` because it imports the
+Prometheus exporter and reads monitor state; :mod:`repro.serve` stays
+free of any dependency on it.  The CLI wires a server around a serve
+run with ``repro serve run --metrics-port ...``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, TextIO
+
+from repro.monitor.export import prometheus_text
+from repro.telemetry.metrics import quantile
+
+__all__ = ["MetricsServer", "serve_snapshot", "render_top", "top"]
+
+
+def serve_snapshot(recorder=None, *, profiler=None, monitor=None,
+                   extra: "dict | None" = None) -> dict:
+    """One consistent status snapshot of a (possibly mid-flight) run.
+
+    Keys: ``aggregate`` (canonical telemetry aggregate), ``profile``
+    (stage budget, when a profiler is attached), ``status`` (queue
+    depth / seed sources / SLO burn rates / alert count) and anything in
+    ``extra`` (run identity, config hints).
+    """
+    snap: "dict[str, Any]" = {"time": time.time()}
+    agg: "dict[str, Any]" = {}
+    if recorder is not None and getattr(recorder, "enabled", False):
+        agg = recorder.aggregate()
+    snap["aggregate"] = agg
+    if profiler is not None and getattr(profiler, "enabled", False):
+        snap["profile"] = profiler.budget()
+    status: "dict[str, Any]" = {}
+    # Series keys may carry a label suffix (shard-labeled recorders write
+    # e.g. serve/queue_depth{shard="0"}) — match on the base name.
+    qd = next(
+        (h for key, h in agg.get("histograms", {}).items()
+         if key.split("{", 1)[0] == "serve/queue_depth"), None)
+    if qd is not None:
+        status["queue_depth_p95"] = quantile(qd, 0.95)
+        status["windows_observed"] = qd.get("count", 0)
+    seed: "dict[str, float]" = {}
+    for key, state in agg.get("counters", {}).items():
+        base = key.split("{", 1)[0]
+        if base.startswith("serve/seed_"):
+            src = base.rsplit("_", 1)[-1]
+            seed[src] = seed.get(src, 0.0) + state.get("value", 0.0)
+    if seed:
+        status["seed_sources"] = seed
+    if monitor is not None:
+        try:
+            status["slo"] = monitor.slo.state()
+            status["alerts"] = len(monitor.alert_log())
+        except Exception:  # monitor mid-mutation: skip, never break a scrape
+            pass
+    snap["status"] = status
+    if extra:
+        snap.update(extra)
+    return snap
+
+
+def _scrape_aggregate(snap: dict) -> dict:
+    """The aggregate to expose on ``/metrics``: the recorder's, plus the
+    live stage budget folded in as labeled gauges (the dispatcher only
+    writes its end-of-run stage gauges at drain time — a mid-run scrape
+    must see the budget too)."""
+    agg = dict(snap.get("aggregate", {}))
+    profile = snap.get("profile")
+    drained = any(  # dispatcher already wrote its end-of-run stage gauges
+        key.split("{", 1)[0] == "serve/stage_total_s"
+        for key in agg.get("gauges", {}))
+    if profile and profile.get("windows") and not drained:
+        gauges = dict(agg.get("gauges", {}))
+        for path, s in profile["stages"].items():
+            key = f'serve/stage_total_s{{stage="{path}"}}'
+            gauges[key] = {"value": s["total_s"], "calls": s["calls"],
+                           "labels": {"stage": path}}
+            key = f'serve/stage_p95_s{{stage="{path}"}}'
+            gauges[key] = {"value": s["p95"], "calls": s["calls"],
+                           "labels": {"stage": path}}
+        unattr = profile.get("unattributed", {})
+        gauges['serve/stage_total_s{stage="unattributed"}'] = {
+            "value": unattr.get("total_s", 0.0), "calls": profile["windows"],
+            "labels": {"stage": "unattributed"},
+        }
+        gauges["serve/profile_coverage_p95"] = {
+            "value": profile.get("coverage_p95", 0.0),
+            "calls": profile["windows"],
+        }
+        agg["gauges"] = gauges
+    return agg
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        try:
+            if self.path.split("?")[0] == "/metrics":
+                body = prometheus_text(_scrape_aggregate(self.server.snapshot_fn()))
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+            elif self.path.split("?")[0] == "/snapshot":
+                body = json.dumps(self.server.snapshot_fn(), sort_keys=True,
+                                  default=float)
+                ctype = "application/json"
+            elif self.path.split("?")[0] == "/healthz":
+                body, ctype = "ok\n", "text/plain"
+            else:
+                self.send_error(404, "unknown path (try /metrics, /snapshot)")
+                return
+        except Exception as exc:  # surface snapshot bugs to the scraper
+            self.send_error(500, f"snapshot failed: {type(exc).__name__}: {exc}")
+            return
+        payload = body.encode()
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, fmt: str, *args) -> None:  # silence per-request noise
+        pass
+
+
+class MetricsServer:
+    """Background ``/metrics`` + ``/snapshot`` HTTP server.
+
+    ``snapshot_fn`` is called once per request from the server thread; it
+    must be thread-safe against the recording run (``serve_snapshot``
+    over a live recorder is — the aggregate is taken under the registry
+    lock).  ``port=0`` picks a free ephemeral port; read ``.port`` after
+    :meth:`start`.
+    """
+
+    def __init__(self, snapshot_fn: "Callable[[], dict]", *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.snapshot_fn = snapshot_fn
+        self.host = host
+        self._requested_port = port
+        self._httpd: "ThreadingHTTPServer | None" = None
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "MetricsServer":
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        httpd = ThreadingHTTPServer((self.host, self._requested_port), _Handler)
+        httpd.daemon_threads = True
+        httpd.snapshot_fn = self.snapshot_fn  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, name="repro-metrics", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# --------------------------------------------------------------------- #
+# `repro serve top`.
+# --------------------------------------------------------------------- #
+
+
+def _bar(frac: float, width: int = 24) -> str:
+    frac = min(max(frac, 0.0), 1.0)
+    filled = int(round(frac * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_top(snap: dict, *, width: int = 78) -> str:
+    """Render one ``/snapshot`` payload as the terminal dashboard.
+
+    Pure text-in/text-out (no sockets, no clearing), so the dashboard
+    layout is unit-testable; :func:`top` owns the refresh loop.
+    """
+    lines: "list[str]" = []
+    run = snap.get("run", "serve")
+    lines.append(f"repro serve top — {run}".ljust(width))
+    lines.append("-" * width)
+
+    status = snap.get("status", {})
+    agg = snap.get("aggregate", {})
+    counters = agg.get("counters", {})
+
+    def cval(name: str) -> float:
+        # Sum across label sets: a shard-labeled run has no unlabeled key.
+        return sum(state.get("value", 0.0) for key, state in counters.items()
+                   if key.split("{", 1)[0] == name)
+
+    lines.append(
+        f"windows {cval('serve/windows'):>6.0f}   "
+        f"arrived {cval('serve/arrived'):>6.0f}   "
+        f"shed {cval('serve/shed'):>5.0f}   "
+        f"requeued {cval('serve/requeued'):>5.0f}"
+    )
+    if "queue_depth_p95" in status:
+        lines.append(f"queue depth p95: {status['queue_depth_p95']:.0f}  "
+                     f"(over {status.get('windows_observed', 0)} windows)")
+
+    seed = status.get("seed_sources")
+    if seed:
+        total = sum(seed.values()) or 1.0
+        lines.append("")
+        lines.append("seed sources:")
+        for src in sorted(seed):
+            frac = seed[src] / total
+            lines.append(f"  {src:<8} {_bar(frac)} {seed[src]:>6.0f} "
+                         f"({100 * frac:5.1f}%)")
+
+    profile = snap.get("profile")
+    if profile and profile.get("windows"):
+        e2e = profile.get("e2e", {})
+        lines.append("")
+        lines.append(f"latency budget over {profile['windows']} windows "
+                     f"(e2e p95 {1e3 * e2e.get('p95', 0.0):.2f} ms, "
+                     f"coverage {100 * profile.get('coverage_p95', 0.0):.1f}%):")
+        total_s = e2e.get("total_s", 0.0) or 1.0
+        for path, s in profile["stages"].items():
+            if ";" in path:
+                continue  # depth-1 budget view; children show in flamegraph
+            frac = s["total_s"] / total_s
+            lines.append(f"  {path:<10} {_bar(frac)} {1e3 * s['p95']:>8.3f} ms p95"
+                         f" ({100 * frac:5.1f}%)")
+        unattr = profile.get("unattributed", {})
+        frac = unattr.get("total_s", 0.0) / total_s
+        lines.append(f"  {'(unattr)':<10} {_bar(frac)} "
+                     f"{1e3 * unattr.get('p95', 0.0):>8.3f} ms p95"
+                     f" ({100 * frac:5.1f}%)")
+        sim = profile.get("sim_stages", {})
+        if sim:
+            lines.append("  simulated-time stages (platform hours):")
+            for name, s in sim.items():
+                lines.append(f"    {name:<16} p50 {s['p50']:.3f}  "
+                             f"p95 {s['p95']:.3f}  calls {s['calls']}")
+
+    slo = status.get("slo")
+    if slo:
+        lines.append("")
+        lines.append(f"SLO burn rates ({status.get('alerts', 0)} alerts):")
+        for s in slo:
+            lines.append(f"  {s.get('name', '?'):<24} "
+                         f"fast {s.get('fast_burn', 0.0):6.2f}  "
+                         f"slow {s.get('slow_burn', 0.0):6.2f}  "
+                         f"{'FIRING' if s.get('firing') else 'ok'}")
+    return "\n".join(lines)
+
+
+def fetch_snapshot(url: str, timeout: float = 5.0) -> dict:
+    """GET ``<url>/snapshot`` and parse it."""
+    base = url.rstrip("/")
+    if not base.startswith("http"):
+        base = f"http://{base}"
+    with urllib.request.urlopen(f"{base}/snapshot", timeout=timeout) as resp:
+        return json.loads(resp.read().decode())
+
+
+def top(url: str, *, interval: float = 2.0, iterations: "int | None" = None,
+        stream: "TextIO | None" = None) -> int:
+    """Refresh loop: fetch ``/snapshot``, clear, redraw.
+
+    ``iterations=None`` runs until interrupted (Ctrl-C exits cleanly);
+    ``iterations=1`` is the scriptable ``--once`` mode.  Returns a shell
+    exit code.
+    """
+    out = stream or sys.stdout
+    clear = "\x1b[2J\x1b[H" if out.isatty() else ""
+    n = 0
+    try:
+        while iterations is None or n < iterations:
+            if n:
+                time.sleep(interval)
+            try:
+                snap = fetch_snapshot(url)
+            except OSError as exc:
+                print(f"serve top: cannot reach {url}: {exc}", file=out)
+                return 1
+            print(f"{clear}{render_top(snap)}", file=out, flush=True)
+            n += 1
+    except KeyboardInterrupt:
+        pass
+    return 0

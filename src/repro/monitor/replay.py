@@ -26,15 +26,11 @@ description of the run:
   verify` checks against the logged breadcrumbs.  Only runs whose swaps
   came from an *external* ``swap_schedule`` remain non-replayable: their
   checkpoints live outside the log.
-
-The legacy dict-based helpers (``serve_params``/``build_stack``) are
-deprecated shims over :class:`repro.serve.ServeConfig`.
 """
 
 from __future__ import annotations
 
 import tempfile
-import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -50,7 +46,7 @@ from repro.serve.dispatcher import (
 from repro.telemetry.jsonl import load_run, meta_of
 from repro.workloads.taskpool import Task, TaskPool
 
-__all__ = ["serve_params", "build_stack", "ReplayStream", "TraceReplay"]
+__all__ = ["ReplayStream", "TraceReplay"]
 
 #: Fields checked by :meth:`TraceReplay.verify`, mirroring the
 #: ``serve/run_stats`` breadcrumb the dispatcher emits at end of run.
@@ -66,36 +62,6 @@ REQUIRED_PARAMS = (
     "solver_max_iters", "max_batch", "max_wait_hours", "queue_capacity",
     "shed_policy", "warm_start",
 )
-
-
-def serve_params(**kwargs) -> dict:
-    """Deprecated: build a :class:`repro.serve.ServeConfig` instead.
-
-    Returns ``ServeConfig(**kwargs).to_params()`` — the same dict this
-    function always produced, now validated on the way through.
-    """
-    warnings.warn(
-        "serve_params() is deprecated; construct repro.serve.ServeConfig "
-        "and use .to_params()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return ServeConfig(**kwargs).to_params()
-
-
-def build_stack(params: dict):
-    """Deprecated: use :func:`repro.serve.build_stack` with a ServeConfig.
-
-    Accepts the legacy parameter dict and returns the same
-    ``(pool, clusters, method, spec, config)`` tuple.
-    """
-    warnings.warn(
-        "monitor.replay.build_stack(params) is deprecated; use "
-        "repro.serve.build_stack(ServeConfig.from_params(params))",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _build_stack(ServeConfig.from_params(params))
 
 
 @dataclass(frozen=True)

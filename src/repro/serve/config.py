@@ -39,6 +39,8 @@ from repro.serve.registry import ModelRegistry
 if TYPE_CHECKING:  # layering: monitor/retrain import serve, not vice versa
     from repro.monitor.quality import MonitorConfig, QualityMonitor
     from repro.retrain.loop import RetrainConfig, RetrainController
+    from repro.retrain.warmstart import WarmStartTrainer
+    from repro.telemetry.profiler import StageProfiler
 
 __all__ = ["ServeConfig", "Platform", "build_platform"]
 
@@ -76,6 +78,11 @@ class ServeConfig:
     #: ``"scalar"`` = dense per-window solve (default; byte-identical
     #: traces), ``"blocks"`` = block-decomposed batched solve.
     solve_mode: str = "scalar"
+    #: Attach a :class:`repro.telemetry.StageProfiler` to the dispatcher:
+    #: per-stage latency budgets (form/predict/seed/solve/…), flamegraph
+    #: export, ``stats.profile``.  Wall-clock only — never perturbs the
+    #: assignment trace — and zero-cost when off.
+    profile: bool = False
     monitor: "MonitorConfig | None" = None
     retrain: "RetrainConfig | None" = None
     #: Checkpoint registry directory; required when ``retrain`` is set.
@@ -120,6 +127,7 @@ class ServeConfig:
             "shed_policy": self.shed_policy,
             "warm_start": self.warm_start,
             "solve_mode": self.solve_mode,
+            "profile": self.profile,
             "monitor": asdict(self.monitor) if self.monitor is not None else None,
             "retrain": self.retrain.to_params() if self.retrain is not None else None,
             "registry_root": self.registry_root,
@@ -159,6 +167,7 @@ class ServeConfig:
             # Legacy logs store a boolean; __post_init__ normalizes it.
             warm_start=params["warm_start"],
             solve_mode=str(params.get("solve_mode", "scalar")),
+            profile=bool(params.get("profile", False)),
             monitor=monitor,
             retrain=retrain,
             registry_root=params.get("registry_root"),
@@ -203,6 +212,7 @@ class Platform:
     controller: "RetrainController | None" = None
     registry: "ModelRegistry | None" = None
     trainer: "WarmStartTrainer | None" = None
+    profiler: "StageProfiler | None" = None
 
     def load(self, pattern: str = "poisson", rate_per_hour: float = 30.0):
         """A load generator over this platform's pool (CLI pattern names)."""
@@ -298,9 +308,15 @@ def build_platform(
 
         trainer = WarmStartTrainer()
         callbacks.append(trainer)
+    profiler = None
+    if config.profile:
+        from repro.telemetry.profiler import StageProfiler
+
+        profiler = StageProfiler()
 
     dispatcher = Dispatcher(clusters, method, spec, dcfg,
-                            registry=registry, callbacks=callbacks)
+                            registry=registry, callbacks=callbacks,
+                            profiler=profiler)
     if controller is not None:
         controller.bind(dispatcher)
     if trainer is not None:
@@ -308,5 +324,5 @@ def build_platform(
     return Platform(
         config=config, pool=pool, clusters=clusters, method=method, spec=spec,
         dispatcher=dispatcher, monitor=monitor, controller=controller,
-        registry=registry, trainer=trainer,
+        registry=registry, trainer=trainer, profiler=profiler,
     )

@@ -55,6 +55,7 @@ from repro.methods.base import BaseMethod, MatchSpec
 from repro.serve.cache import PredictionMemo, WarmStartCache, make_cache_key
 from repro.serve.registry import ModelRegistry
 from repro.telemetry import ITER_BUCKETS, SIZE_BUCKETS, TIME_BUCKETS_S, get_recorder
+from repro.telemetry.profiler import NULL_PROFILER, StageProfiler
 from repro.utils.rng import as_generator
 from repro.workloads.taskpool import Task
 
@@ -171,6 +172,10 @@ class ServeStats:
     seed_sources: dict = field(default_factory=dict)
     cache: dict = field(default_factory=dict)
     memo: dict = field(default_factory=dict)
+    #: Latency budget from an attached :class:`StageProfiler`
+    #: (:meth:`StageProfiler.budget`); empty when profiling is off.
+    #: Wall-clock only — never part of :meth:`trace_bytes`.
+    profile: dict = field(default_factory=dict, repr=False)
     records: list[ServeRecord] = field(default_factory=list, repr=False)
 
     # ------------------------------------------------------------------ #
@@ -357,6 +362,7 @@ class Dispatcher:
         callbacks: "Sequence[ServeCallback] | None" = None,
         warm_model=None,
         block_config=None,
+        profiler: "StageProfiler | None" = None,
     ) -> None:
         if not clusters:
             raise ValueError("clusters must be non-empty")
@@ -393,6 +399,12 @@ class Dispatcher:
         #: Swap requested mid-run (``(version, reason)``), applied at the
         #: start of the next dispatched window.
         self._pending_swap: "tuple[str, str] | None" = None
+        #: Latency-budget profiler (:mod:`repro.telemetry.profiler`).
+        #: ``None`` disables profiling: the hooks degrade to the shared
+        #: no-op :data:`NULL_PROFILER` (a few calls per window).  The
+        #: profiler records wall clock only and draws no randomness, so
+        #: attaching it never changes the assignment trace.
+        self.profiler = profiler
         self.callbacks: "list[ServeCallback]" = list(callbacks or ())
         # The warm-start/memo hooks only apply to methods running the
         # default predict→solve→round pipeline; custom decide() overrides
@@ -433,6 +445,7 @@ class Dispatcher:
         rng = as_generator(rng)
         stats = ServeStats()
         rec = get_recorder()
+        prof = self.profiler if self.profiler is not None else NULL_PROFILER
 
         # Merged primary event list.  Priority orders simultaneous events
         # deterministically: rejoins first (capacity returns), then
@@ -553,22 +566,34 @@ class Dispatcher:
 
         def dispatch_window(now: float) -> None:
             nonlocal busy_until
-            ups = [c for c in self.clusters if c.cluster_id not in down]
-            k = min(cfg.max_batch, len(queue))
-            window = stats.windows
-            if self.swap_schedule and window in self.swap_schedule:
-                apply_swap(window, self.swap_schedule[window], "schedule")
-            if self._pending_swap is not None:
-                version, reason = self._pending_swap
-                self._pending_swap = None
-                apply_swap(window, version, reason)
-            if rec.enabled:
-                rec.observe("serve/queue_depth", len(queue), bounds=SIZE_BUCKETS)
-            batch = [queue.popleft() for _ in range(k)]
-            tasks = [q.task for q in batch]
-            T = np.stack([c.true_times(tasks) for c in ups])
-            A = np.stack([c.true_reliabilities(tasks) for c in ups])
-            problem = self.spec.build_problem(T, A)
+            prof.begin_window()
+            with prof.stage("form"):
+                ups = [c for c in self.clusters if c.cluster_id not in down]
+                k = min(cfg.max_batch, len(queue))
+                window = stats.windows
+                if self.swap_schedule and window in self.swap_schedule:
+                    apply_swap(window, self.swap_schedule[window], "schedule")
+                if self._pending_swap is not None:
+                    version, reason = self._pending_swap
+                    self._pending_swap = None
+                    apply_swap(window, version, reason)
+                if rec.enabled:
+                    rec.observe("serve/queue_depth", len(queue), bounds=SIZE_BUCKETS)
+                batch = [queue.popleft() for _ in range(k)]
+                tasks = [q.task for q in batch]
+                T = np.stack([c.true_times(tasks) for c in ups])
+                A = np.stack([c.true_reliabilities(tasks) for c in ups])
+                problem = self.spec.build_problem(T, A)
+            if prof.enabled:
+                # Simulated-time components of task latency: how long each
+                # task of this batch sat in the admission queue, and how
+                # long the formed batch waited for its dispatch trigger
+                # after its newest member arrived.  Platform hours, not
+                # wall clock — reported in the budget's own section.
+                for q in batch:
+                    prof.observe_sim("admission_wait", now - q.enqueued_at)
+                prof.observe_sim(
+                    "batch_wait", now - max(q.enqueued_at for q in batch))
 
             t0 = time.perf_counter()
             iters = 0
@@ -583,49 +608,56 @@ class Dispatcher:
                 # here (decide_full would otherwise run the identical
                 # predict internally — same result, just not exposed).
                 need_subset = len(ups) != len(self.clusters)
-                if self.memo is not None:
-                    predictions = self.memo.predict(self.method, tasks)
-                elif need_subset or self.callbacks:
-                    predictions = self.method.predict(tasks)
-                if predictions is not None and need_subset:
-                    pos = {c.cluster_id: i for i, c in enumerate(self.clusters)}
-                    idx = [pos[c.cluster_id] for c in ups]
-                    predictions = (predictions[0][idx], predictions[1][idx])
+                with prof.stage("predict"):
+                    if self.memo is not None:
+                        predictions = self.memo.predict(self.method, tasks)
+                    elif need_subset or self.callbacks:
+                        predictions = self.method.predict(tasks)
+                    if predictions is not None and need_subset:
+                        pos = {c.cluster_id: i for i, c in enumerate(self.clusters)}
+                        idx = [pos[c.cluster_id] for c in ups]
+                        predictions = (predictions[0][idx], predictions[1][idx])
                 x0 = None
                 solver = None
                 seed_src = "cold"
                 key = make_cache_key([c.cluster_id for c in ups], k)
-                if self.cache is not None:
-                    x0 = self.cache.seed(key, tasks, len(ups))
-                    solver = self.cache.solver_config(key, self.spec.solver)
-                    if x0 is not None:
-                        seed_src = "cache"
-                if x0 is None and cfg.learned_seeds and self.warm_model is not None:
-                    x0 = self.warm_model.seed(tasks, [c.cluster_id for c in ups])
-                    if x0 is not None:
-                        seed_src = "learned"
-                decision = self.method.decide_full(
-                    problem, tasks, x0=x0, solver=solver, predictions=predictions,
-                    solve_mode=cfg.solve_mode, block_config=self.block_config,
-                )
-                if self.cache is not None:
-                    self.cache.store(key, tasks, decision.relaxed)
-                X = decision.X
-                relaxed_X = decision.relaxed.X
-                iters = decision.relaxed.iterations
-                stats.solver_iterations.append(iters)
-                stats.seed_sources[seed_src] = stats.seed_sources.get(seed_src, 0) + 1
-                if rec.enabled:
-                    rec.counter_add(f"serve/seed_{seed_src}")
-                    if seed_src == "learned":
-                        # Seed quality: how much of the seed's per-task
-                        # argmax placement survived the solve.
-                        agree = float(np.mean(
-                            x0.argmax(axis=0) == relaxed_X.argmax(axis=0)))
-                        rec.observe("serve/seed_agreement", agree,
-                                    bounds=(0.1, 0.25, 0.5, 0.75, 0.9, 0.99))
+                with prof.stage("seed"):
+                    if self.cache is not None:
+                        x0 = self.cache.seed(key, tasks, len(ups))
+                        solver = self.cache.solver_config(key, self.spec.solver)
+                        if x0 is not None:
+                            seed_src = "cache"
+                    if x0 is None and cfg.learned_seeds and self.warm_model is not None:
+                        x0 = self.warm_model.seed(tasks, [c.cluster_id for c in ups])
+                        if x0 is not None:
+                            seed_src = "learned"
+                with prof.stage("solve"):
+                    decision = self.method.decide_full(
+                        problem, tasks, x0=x0, solver=solver, predictions=predictions,
+                        solve_mode=cfg.solve_mode, block_config=self.block_config,
+                        profiler=self.profiler,
+                    )
+                with prof.stage("commit"):
+                    if self.cache is not None:
+                        self.cache.store(key, tasks, decision.relaxed)
+                    X = decision.X
+                    relaxed_X = decision.relaxed.X
+                    iters = decision.relaxed.iterations
+                    stats.solver_iterations.append(iters)
+                    stats.seed_sources[seed_src] = (
+                        stats.seed_sources.get(seed_src, 0) + 1)
+                    if rec.enabled:
+                        rec.counter_add(f"serve/seed_{seed_src}")
+                        if seed_src == "learned":
+                            # Seed quality: how much of the seed's per-task
+                            # argmax placement survived the solve.
+                            agree = float(np.mean(
+                                x0.argmax(axis=0) == relaxed_X.argmax(axis=0)))
+                            rec.observe("serve/seed_agreement", agree,
+                                        bounds=(0.1, 0.25, 0.5, 0.75, 0.9, 0.99))
             else:
-                X = self.method.decide(problem, tasks)
+                with prof.stage("solve"):
+                    X = self.method.decide(problem, tasks)
             latency = time.perf_counter() - t0
 
             stats.windows += 1
@@ -640,62 +672,66 @@ class Dispatcher:
                 if self._default_decide:
                     rec.observe("serve/solve_iterations", iters, bounds=ITER_BUCKETS)
 
-            labels = labels_from_assignment(X)
-            order = np.argsort(labels, kind="stable")
-            starts = np.empty(k)
-            ends = np.empty(k)
-            successes = np.empty(k, dtype=bool)
-            for j in order:
-                cluster = ups[int(labels[j])]
-                q = batch[int(j)]
-                start = max(free_at[cluster.cluster_id], now)
-                duration = cluster.true_time(q.task)
-                if cfg.jitter_std > 0:
-                    duration *= float(np.exp(rng.normal(0.0, cfg.jitter_std)))
-                success = (not cfg.failures) or (
-                    rng.random() < cluster.true_reliability(q.task)
-                )
-                busy = duration if success else duration * float(rng.uniform(0.05, 0.95))
-                end = start + busy
-                free_at[cluster.cluster_id] = end
-                starts[int(j)], ends[int(j)] = start, end
-                successes[int(j)] = success
-                schedule[cluster.cluster_id].append(_Scheduled(
-                    task=q.task, window=window, cluster_id=cluster.cluster_id,
-                    arrival=q.arrival, dispatched=now, start=start, end=end,
-                    success=success, requeues=q.requeues,
-                ))
-            busy_until = now + cfg.dispatch_overhead_hours
+            with prof.stage("schedule"):
+                labels = labels_from_assignment(X)
+                order = np.argsort(labels, kind="stable")
+                starts = np.empty(k)
+                ends = np.empty(k)
+                successes = np.empty(k, dtype=bool)
+                for j in order:
+                    cluster = ups[int(labels[j])]
+                    q = batch[int(j)]
+                    start = max(free_at[cluster.cluster_id], now)
+                    duration = cluster.true_time(q.task)
+                    if cfg.jitter_std > 0:
+                        duration *= float(np.exp(rng.normal(0.0, cfg.jitter_std)))
+                    success = (not cfg.failures) or (
+                        rng.random() < cluster.true_reliability(q.task)
+                    )
+                    busy = duration if success else duration * float(
+                        rng.uniform(0.05, 0.95))
+                    end = start + busy
+                    free_at[cluster.cluster_id] = end
+                    starts[int(j)], ends[int(j)] = start, end
+                    successes[int(j)] = success
+                    schedule[cluster.cluster_id].append(_Scheduled(
+                        task=q.task, window=window, cluster_id=cluster.cluster_id,
+                        arrival=q.arrival, dispatched=now, start=start, end=end,
+                        success=success, requeues=q.requeues,
+                    ))
+                busy_until = now + cfg.dispatch_overhead_hours
 
             if self.callbacks:
                 cb0 = time.perf_counter()
-                snapshot = WindowSnapshot(
-                    window=window,
-                    time=now,
-                    cluster_ids=tuple(c.cluster_id for c in ups),
-                    task_ids=tuple(t.task_id for t in tasks),
-                    T=T,
-                    A=A,
-                    T_hat=None if predictions is None else predictions[0],
-                    A_hat=None if predictions is None else predictions[1],
-                    X=X,
-                    gamma=problem.gamma,
-                    reliability_slack=reliability_value(X, problem),
-                    arrival=np.array([q.arrival for q in batch]),
-                    start=starts,
-                    end=ends,
-                    realized_hours=ends - starts,
-                    success=successes,
-                    requeues=np.array([q.requeues for q in batch]),
-                    queue_depth=len(queue),
-                    arrived_total=stats.arrived,
-                    shed_total=stats.shed,
-                    features=np.stack([t.features for t in tasks]),
-                    X_relaxed=relaxed_X,
-                )
-                for cb in self.callbacks:
-                    cb.on_window(snapshot)
+                with prof.stage("callbacks"):
+                    snapshot = WindowSnapshot(
+                        window=window,
+                        time=now,
+                        cluster_ids=tuple(c.cluster_id for c in ups),
+                        task_ids=tuple(t.task_id for t in tasks),
+                        T=T,
+                        A=A,
+                        T_hat=None if predictions is None else predictions[0],
+                        A_hat=None if predictions is None else predictions[1],
+                        X=X,
+                        gamma=problem.gamma,
+                        reliability_slack=reliability_value(X, problem),
+                        arrival=np.array([q.arrival for q in batch]),
+                        start=starts,
+                        end=ends,
+                        realized_hours=ends - starts,
+                        success=successes,
+                        requeues=np.array([q.requeues for q in batch]),
+                        queue_depth=len(queue),
+                        arrived_total=stats.arrived,
+                        shed_total=stats.shed,
+                        features=np.stack([t.features for t in tasks]),
+                        X_relaxed=relaxed_X,
+                    )
+                    for cb in self.callbacks:
+                        cb.on_window(snapshot)
                 stats.callback_seconds += time.perf_counter() - cb0
+            prof.end_window()
 
         def drain(t_limit: float) -> None:
             """Dispatch every window that ripens at or before ``t_limit``."""
@@ -760,6 +796,23 @@ class Dispatcher:
             stats.cache = self.cache.stats()
         if self.memo is not None:
             stats.memo = self.memo.stats()
+        if prof.enabled:
+            stats.profile = prof.budget()
+            if rec.enabled:
+                # Stage-budget series for the scrape endpoint / run log:
+                # one labeled gauge per stage path.  Wall-clock values —
+                # they live in metrics, never in the trace.
+                for path, s in stats.profile["stages"].items():
+                    rec.gauge_set("serve/stage_total_s", s["total_s"],
+                                  labels={"stage": path})
+                    rec.gauge_set("serve/stage_p95_s", s["p95"],
+                                  labels={"stage": path})
+                unattr = stats.profile["unattributed"]
+                rec.gauge_set("serve/stage_total_s",
+                              unattr.get("total_s", 0.0),
+                              labels={"stage": "unattributed"})
+                rec.gauge_set("serve/profile_coverage_p95",
+                              stats.profile["coverage_p95"])
         if rec.enabled:
             rec.counter_add("serve/arrived", stats.arrived)
             rec.counter_add("serve/completed", stats.completed)

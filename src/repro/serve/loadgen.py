@@ -17,12 +17,14 @@ determined by the passed generator.
 
 :func:`run_serve_benchmark` is the end-to-end soak benchmark behind
 ``repro serve bench``: it trains a predictor stack, replays the same
-arrival stream through the dispatcher cold (no warm-start cache) and warm,
-and reports sustained matching throughput, p50/p95/p99 assignment latency
-and the warm/cold solver-iteration ratio — the numbers committed to
-``BENCH_serve.json``.  Solver iterations are read back from the telemetry
-``serve/solve_iterations`` histogram so the benchmark measures exactly
-what production telemetry would.
+arrival stream through the dispatcher cold (no warm-start cache), warm,
+warm + quality monitor, and warm + stage profiler, and reports sustained
+matching throughput, p50/p95/p99 assignment latency, the warm/cold
+solver-iteration ratio, and the profiled run's latency budget (per-stage
+percentiles, ``coverage_p95``, hook-call overhead bounds) — the numbers
+committed to ``BENCH_serve.json``.  Solver iterations are read back from
+the telemetry ``serve/solve_iterations`` histogram so the benchmark
+measures exactly what production telemetry would.
 """
 
 from __future__ import annotations
@@ -197,12 +199,17 @@ def run_serve_benchmark(
     seed: int = 0,
     smoke: bool = False,
     out_path: "str | os.PathLike[str] | None" = None,
+    flamegraph_path: "str | os.PathLike[str] | None" = None,
 ) -> dict:
     """Cold-vs-warm serving soak; returns (and optionally writes) the report.
 
-    The same arrival stream and execution RNG replay through two fresh
-    dispatchers — warm-start cache off, then on — so the iteration counts
-    are paired.  ``smoke=True`` shrinks every knob for CI.
+    The same arrival stream and execution RNG replay through fresh
+    dispatchers — warm-start cache off, then on, then on with the quality
+    monitor, then on with the stage profiler — so the iteration counts
+    are paired and every observer mode is gated against the plain warm
+    trace.  ``smoke=True`` shrinks every knob for CI.
+    ``flamegraph_path`` writes the profiled run's collapsed-stack profile
+    there (speedscope / ``flamegraph.pl`` format).
 
     ``solver_tol``/``solver_max_iters`` define the *serving-grade* solver
     configuration: latency-bound deployments stop the barrier descent at a
@@ -237,12 +244,19 @@ def run_serve_benchmark(
     # monitor attached (imported lazily: serve must not depend on monitor
     # except here, at the benchmark seam).  It gates two invariants:
     # observation never changes behavior (trace hash equals the warm
-    # run's) and monitoring costs < 5% of dispatcher wall time.
+    # run's) and monitoring costs < 5% of dispatcher wall time.  The
+    # profiled mode replays the warm configuration once more with the
+    # stage profiler attached and gates the same trace-identity invariant
+    # plus the latency-budget coverage floor.
     from repro.monitor import MonitorConfig, QualityMonitor
+    from repro.telemetry.profiler import NULL_PROFILER, StageProfiler
 
     modes: dict[str, dict] = {}
     monitors: dict[str, QualityMonitor] = {}
-    for mode, warm in (("cold", False), ("warm", True), ("monitored", True)):
+    hists_by_mode: dict[str, dict] = {}
+    profiler: "StageProfiler | None" = None
+    for mode, warm in (("cold", False), ("warm", True), ("monitored", True),
+                       ("profiled", True)):
         cfg = DispatcherConfig(
             max_batch=max_batch,
             max_wait_hours=max_wait_hours,
@@ -251,6 +265,8 @@ def run_serve_benchmark(
             memoize_predictions=warm,  # memo rides with the cache mode
         )
         callbacks = None
+        if mode == "profiled":
+            profiler = StageProfiler()
         if mode == "monitored":
             # Serving-grade knobs: hindsight re-solves amortized over many
             # windows and stopped at a coarser tolerance than deployment
@@ -264,11 +280,13 @@ def run_serve_benchmark(
         with recording(mode="summary", run=f"serve-bench-{mode}",
                        stream=io.StringIO()) as rec:
             dispatcher = Dispatcher(clusters, method, spec, cfg,
-                                    callbacks=callbacks)
+                                    callbacks=callbacks,
+                                    profiler=profiler if mode == "profiled" else None)
             wall0 = time.perf_counter()
             stats = dispatcher.run(events, rng=seed + 4)
             run_wall_s = time.perf_counter() - wall0
             hists = rec.aggregate()["histograms"]
+        hists_by_mode[mode] = hists
         iters_hist = hists.get("serve/solve_iterations", {"count": 0, "sum": 0.0})
         iters_mean = (
             iters_hist["sum"] / iters_hist["count"] if iters_hist["count"] else 0.0
@@ -303,11 +321,67 @@ def run_serve_benchmark(
             )
             modes[mode]["alerts"] = summary["alerts"]
             modes[mode]["windows_sampled"] = summary["attribution"]["sampled"]
+        if mode == "profiled":
+            budget = stats.profile
+            modes[mode]["profile"] = {
+                "coverage_p95": round(budget["coverage_p95"], 4),
+                "unattributed_frac": round(budget["unattributed"]["frac"], 4),
+                "e2e_p95_s": round(budget["e2e"]["p95"], 6),
+                "stages": {
+                    path: {
+                        "total_s": round(s["total_s"], 4),
+                        "self_s": round(s["self_s"], 4),
+                        "p95_s": round(s["p95"], 6),
+                        "calls": s["calls"],
+                    }
+                    for path, s in budget["stages"].items()
+                },
+                "sim_stages": {
+                    name: {
+                        "total_hours": round(s["total_hours"], 4),
+                        "p95_hours": round(s["p95"], 4),
+                        "calls": s["calls"],
+                    }
+                    for name, s in budget["sim_stages"].items()
+                },
+            }
+
+    assert profiler is not None
+    if flamegraph_path is not None:
+        profiler.write_flamegraph(flamegraph_path)
+
+    # Profiler overhead, bounded the bench_micro way: count the hook calls
+    # the profiled run actually made, microbenchmark one disabled and one
+    # live hook call, and compare the products against the paired run
+    # walls.  Never a wall-clock diff between two runs — on CI machines
+    # that signal is noise-dominated.
+    n = 50_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with NULL_PROFILER.stage("bench"):
+            pass
+    noop_s = (time.perf_counter() - t0) / n
+    probe = StageProfiler()
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with probe.stage("bench"):
+            pass
+    live_s = (time.perf_counter() - t0) / n
+    hook_calls = profiler.events_recorded
+    warm_wall = modes["warm"]["run_wall_s"]
+    prof_wall = modes["profiled"]["run_wall_s"]
+    modes["profiled"]["overhead"] = {
+        "hook_calls": hook_calls,
+        "noop_call_ns": round(noop_s * 1e9, 1),
+        "live_call_ns": round(live_s * 1e9, 1),
+        "off_frac_bound": round(hook_calls * noop_s / warm_wall, 6) if warm_wall else 0.0,
+        "on_frac_bound": round(hook_calls * live_s / prof_wall, 6) if prof_wall else 0.0,
+    }
 
     # Serving percentiles re-read through the public histogram quantile —
     # the benchmark reports exactly what a scrape of the telemetry
     # aggregate would show (bucket upper bounds, not exact order stats).
-    latency_hist = hists.get("serve/assignment_latency_s")
+    latency_hist = hists_by_mode["monitored"].get("serve/assignment_latency_s")
     if latency_hist is not None:
         modes["monitored"]["assignment_latency_hist"] = {
             "p50": quantile(latency_hist, 0.5),
@@ -334,6 +408,7 @@ def run_serve_benchmark(
         "cold": modes["cold"],
         "warm": modes["warm"],
         "monitored": modes["monitored"],
+        "profiled": modes["profiled"],
         "warm_start_iters_speedup": round(cold_it / warm_it, 2) if warm_it else None,
     }
     if out_path is not None:

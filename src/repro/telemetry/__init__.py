@@ -35,10 +35,12 @@ from repro.telemetry.metrics import (
     Histogram,
     quantile,
 )
+from repro.telemetry.profiler import NULL_PROFILER, NullStageProfiler, StageProfiler
 from repro.telemetry.recorder import (
     MODES,
     NULL,
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMAS,
     NullRecorder,
     Recorder,
     counter_add,
@@ -50,10 +52,18 @@ from repro.telemetry.recorder import (
     run_metadata,
     span,
 )
+from repro.telemetry.registry import (
+    MetricRegistry,
+    aggregate_runs,
+    merge_aggregates,
+    series_key,
+    split_series_key,
+)
 from repro.telemetry.spans import NULL_SPAN, Span, current_path
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMAS",
     "MODES",
     "Recorder",
     "NullRecorder",
@@ -82,4 +92,12 @@ __all__ = [
     "load_run",
     "aggregate_events",
     "meta_of",
+    "MetricRegistry",
+    "series_key",
+    "split_series_key",
+    "merge_aggregates",
+    "aggregate_runs",
+    "StageProfiler",
+    "NullStageProfiler",
+    "NULL_PROFILER",
 ]

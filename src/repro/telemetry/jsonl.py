@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from repro.telemetry.recorder import SCHEMA_VERSION
+from repro.telemetry.recorder import SUPPORTED_SCHEMAS
 
 __all__ = ["load_run", "aggregate_events", "meta_of"]
 
@@ -45,9 +45,9 @@ def load_run(path: str | Path) -> list[dict]:
     if events[0].get("type") != "meta":
         raise ValueError(f"{path}: missing meta header line")
     schema = events[0].get("schema")
-    if schema != SCHEMA_VERSION:
+    if schema not in SUPPORTED_SCHEMAS:
         raise ValueError(f"{path}: unsupported schema {schema!r} "
-                         f"(expected {SCHEMA_VERSION})")
+                         f"(expected one of {SUPPORTED_SCHEMAS})")
     return events
 
 

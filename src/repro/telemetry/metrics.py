@@ -16,6 +16,7 @@ different runs mergeable bucket-by-bucket.
 from __future__ import annotations
 
 from bisect import bisect_left
+from math import isfinite
 
 __all__ = [
     "Counter",
@@ -140,18 +141,36 @@ def quantile(histogram: "Histogram | dict", q: float) -> float:
     upper boundary of the bucket containing the ``q``-quantile — exact to
     bucket resolution, and the single shared implementation behind the
     recorder's console summary, ``bench_serve.py`` and the quality
-    monitor.  Returns the observed maximum for the overflow bucket and
-    0.0 for an empty histogram.
+    monitor.
+
+    The result is always a finite float:
+
+    - an *empty* histogram (``count == 0`` or no ``counts``) returns 0.0;
+    - a quantile landing in the *overflow* bucket returns the observed
+      maximum when the state carries a finite ``max`` sidecar, and falls
+      back to the last bucket boundary (the largest finite value the
+      buckets can attest) when ``max`` is missing, ``None``, or
+      non-finite — merged or hand-built states routinely lack it, and a
+      bucket-resolution estimate must never surface ``+inf``.
     """
     if not 0.0 <= q <= 1.0:
         raise ValueError(f"quantile must be in [0, 1], got {q}")
     h = histogram.state() if isinstance(histogram, Histogram) else histogram
-    if not h["count"]:
+    counts = h.get("counts") or []
+    if not h.get("count") or not counts:
         return 0.0
+    bounds = h["bounds"]
+
+    def overflow_value() -> float:
+        vmax = h.get("max")
+        if isinstance(vmax, (int, float)) and isfinite(vmax):
+            return float(vmax)
+        return float(bounds[-1])
+
     target = q * h["count"]
     cum = 0
-    for i, c in enumerate(h["counts"]):
+    for i, c in enumerate(counts):
         cum += c
         if cum >= target and c:
-            return h["bounds"][i] if i < len(h["bounds"]) else h["max"]
-    return h["max"]
+            return float(bounds[i]) if i < len(bounds) else overflow_value()
+    return overflow_value()

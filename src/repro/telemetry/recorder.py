@@ -17,9 +17,9 @@ its ``enabled`` flag is ``False``, so every call site pays exactly one
 attribute check in the disabled mode (asserted by the <2% overhead gate in
 ``benchmarks/bench_micro.py``).
 
-JSONL schema (versioned; see DESIGN.md §8):
+JSONL schema (versioned; see DESIGN.md §8 and §14):
 
-- line 1: ``{"schema": 1, "type": "meta", "run": ..., "git_sha": ...,
+- line 1: ``{"schema": 2, "type": "meta", "run": ..., "git_sha": ...,
   "config": ..., "seeds": ..., ...}``
 - span close: ``{"type": "span", "seq": n, "path": ..., "dur_s": ...,
   "ok": ...}``
@@ -27,6 +27,12 @@ JSONL schema (versioned; see DESIGN.md §8):
 - on close, one ``{"type": "metric", "kind": ..., "name": ..., ...}`` line
   per instrument (sorted by kind then name) and a final
   ``{"type": "span_summary", ...}`` line per span path (sorted by path).
+
+Schema 2 (this PR) extends schema 1 with *labeled series*: a metric
+line's ``name`` is the full series key (``metric{k="v",...}`` for labeled
+series) and labeled states carry a ``labels`` object.  Unlabeled series
+serialize byte-identically to schema 1, and schema-1 logs remain loadable
+(:func:`repro.telemetry.jsonl.load_run` accepts both).
 
 Events carry a monotonically increasing ``seq`` and metric/summary lines
 are emitted in sorted order, so the *content ordering* of a run log is
@@ -45,11 +51,13 @@ from contextvars import ContextVar
 from pathlib import Path
 from typing import Any, Iterator, TextIO
 
-from repro.telemetry.metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, quantile
+from repro.telemetry.metrics import quantile
+from repro.telemetry.registry import MetricRegistry
 from repro.telemetry.spans import NULL_SPAN, Span, _NullSpan
 
 __all__ = [
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMAS",
     "MODES",
     "Recorder",
     "NullRecorder",
@@ -64,7 +72,10 @@ __all__ = [
     "run_metadata",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+#: Schemas :func:`repro.telemetry.jsonl.load_run` accepts (2 is a strict
+#: superset of 1 — unlabeled series are identical in both).
+SUPPORTED_SCHEMAS = (1, 2)
 MODES = ("off", "summary", "jsonl")
 DEFAULT_DIR = Path("results") / "telemetry"
 
@@ -79,14 +90,17 @@ class NullRecorder:
     def span(self, name: str) -> _NullSpan:
         return NULL_SPAN
 
-    def counter_add(self, name: str, amount: float = 1.0) -> None:
+    def counter_add(self, name: str, amount: float = 1.0,
+                    labels: dict | None = None) -> None:
         pass
 
-    def gauge_set(self, name: str, value: float) -> None:
+    def gauge_set(self, name: str, value: float,
+                  labels: dict | None = None) -> None:
         pass
 
     def observe(self, name: str, value: float, n: int = 1,
-                bounds: tuple[float, ...] | None = None) -> None:
+                bounds: tuple[float, ...] | None = None,
+                labels: dict | None = None) -> None:
         pass
 
     def event(self, name: str, **fields: Any) -> None:
@@ -121,6 +135,7 @@ class Recorder:
         out_dir: str | Path | None = None,
         meta: dict | None = None,
         stream: TextIO | None = None,
+        labels: dict | None = None,
     ) -> None:
         if mode not in ("summary", "jsonl"):
             raise ValueError(f"mode must be 'summary' or 'jsonl', got {mode!r}")
@@ -135,10 +150,12 @@ class Recorder:
         self.closed = False
         self._seq = 0
         self._spans: dict[str, list] = {}  # path -> [total_s, calls, errors]
-        self._counters: dict[str, Counter] = {}
-        self._gauges: dict[str, Gauge] = {}
-        self._hists: dict[str, Histogram] = {}
+        #: metric series, keyed by name{labels}; base labels (e.g. shard
+        #: identity) stamp every series this recorder writes.
+        self.registry = MetricRegistry(base_labels=labels)
         self._lines: list[dict] = []  # buffered JSONL events (jsonl mode)
+        if labels:
+            self.meta.setdefault("labels", dict(self.registry.base_labels))
 
     # ------------------------------------------------------------------ #
     # Instruments.
@@ -148,39 +165,35 @@ class Recorder:
         return Span(name, self)
 
     def _record_span(self, path: str, dur: float, ok: bool) -> None:
-        agg = self._spans.get(path)
-        if agg is None:
-            agg = self._spans[path] = [0.0, 0, 0]
-        agg[0] += dur
-        agg[1] += 1
-        if not ok:
-            agg[2] += 1
+        with self.registry.lock:
+            agg = self._spans.get(path)
+            if agg is None:
+                agg = self._spans[path] = [0.0, 0, 0]
+            agg[0] += dur
+            agg[1] += 1
+            if not ok:
+                agg[2] += 1
         self.events_recorded += 1
         if self.mode == "jsonl":
             self._emit({"type": "span", "path": path, "dur_s": dur, "ok": ok})
 
-    def counter_add(self, name: str, amount: float = 1.0) -> None:
-        c = self._counters.get(name)
-        if c is None:
-            c = self._counters[name] = Counter(name)
-        c.add(amount)
+    def counter_add(self, name: str, amount: float = 1.0,
+                    labels: dict | None = None) -> None:
+        self.registry.counter_add(name, amount, labels)
         self.events_recorded += 1
 
-    def gauge_set(self, name: str, value: float) -> None:
-        g = self._gauges.get(name)
-        if g is None:
-            g = self._gauges[name] = Gauge(name)
-        g.set(value)
+    def gauge_set(self, name: str, value: float,
+                  labels: dict | None = None) -> None:
+        self.registry.gauge_set(name, value, labels)
         self.events_recorded += 1
 
     def observe(self, name: str, value: float, n: int = 1,
-                bounds: tuple[float, ...] | None = None) -> None:
-        """Record into the named histogram (created on first use with the
-        given ``bounds``; later calls keep the original boundaries)."""
-        h = self._hists.get(name)
-        if h is None:
-            h = self._hists[name] = Histogram(name, bounds or DEFAULT_BUCKETS)
-        h.observe(value, n)
+                bounds: tuple[float, ...] | None = None,
+                labels: dict | None = None) -> None:
+        """Record into the named histogram series (created on first use
+        with the given ``bounds``; later calls keep the original
+        boundaries)."""
+        self.registry.observe(name, value, n, bounds, labels)
         self.events_recorded += 1
 
     def event(self, name: str, **fields: Any) -> None:
@@ -210,16 +223,19 @@ class Recorder:
     def aggregate(self) -> dict:
         """Canonical aggregate view: the exact data the console summary
         renders, and what :func:`repro.telemetry.jsonl.aggregate_events`
-        reconstructs from a JSONL run log."""
-        return {
-            "spans": {
+        reconstructs from a JSONL run log.
+
+        Taken under the registry lock, so a live scrape thread
+        (:class:`repro.monitor.live.MetricsServer`) always sees a
+        consistent snapshot while the run records.
+        """
+        with self.registry.lock:
+            spans = {
                 path: {"total_s": agg[0], "calls": agg[1], "errors": agg[2]}
                 for path, agg in sorted(self._spans.items())
-            },
-            "counters": {n: c.state() for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.state() for n, g in sorted(self._gauges.items())},
-            "histograms": {n: h.state() for n, h in sorted(self._hists.items())},
-        }
+            }
+            metrics = self.registry.snapshot()
+        return {"spans": spans, **metrics}
 
     def summary_table(self) -> str:
         """End-of-run console summary of spans and metrics."""
@@ -270,11 +286,12 @@ class Recorder:
         self.closed = True
         path: Path | None = None
         if self.mode == "jsonl":
-            for kind, reg in (("counter", self._counters), ("gauge", self._gauges),
-                              ("histogram", self._hists)):
-                for name in sorted(reg):
+            snap = self.registry.snapshot()
+            for kind, section in (("counter", "counters"), ("gauge", "gauges"),
+                                  ("histogram", "histograms")):
+                for name, state in snap[section].items():
                     self._emit({"type": "metric", "kind": kind, "name": name,
-                                **reg[name].state()})
+                                **state})
             for p in sorted(self._spans):
                 agg = self._spans[p]
                 self._emit({"type": "span_summary", "path": p, "total_s": agg[0],
@@ -306,23 +323,25 @@ def span(name: str) -> "Span | _NullSpan":
     return _CURRENT.get().span(name)
 
 
-def counter_add(name: str, amount: float = 1.0) -> None:
+def counter_add(name: str, amount: float = 1.0,
+                labels: dict | None = None) -> None:
     rec = _CURRENT.get()
     if rec.enabled:
-        rec.counter_add(name, amount)
+        rec.counter_add(name, amount, labels)
 
 
-def gauge_set(name: str, value: float) -> None:
+def gauge_set(name: str, value: float, labels: dict | None = None) -> None:
     rec = _CURRENT.get()
     if rec.enabled:
-        rec.gauge_set(name, value)
+        rec.gauge_set(name, value, labels)
 
 
 def observe(name: str, value: float, n: int = 1,
-            bounds: tuple[float, ...] | None = None) -> None:
+            bounds: tuple[float, ...] | None = None,
+            labels: dict | None = None) -> None:
     rec = _CURRENT.get()
     if rec.enabled:
-        rec.observe(name, value, n, bounds)
+        rec.observe(name, value, n, bounds, labels)
 
 
 def event(name: str, **fields: Any) -> None:
@@ -339,18 +358,22 @@ def recording(
     out_dir: str | Path | None = None,
     meta: dict | None = None,
     stream: TextIO | None = None,
+    labels: dict | None = None,
 ) -> Iterator["Recorder | NullRecorder"]:
     """Activate a fresh recorder for the body and close it on exit.
 
     ``mode="off"`` yields the shared :data:`NULL` recorder and records
-    nothing (and touches no contextvar state).
+    nothing (and touches no contextvar state).  ``labels`` become the
+    recorder's base labels, stamped on every labeled series it records
+    (the per-shard identity in a sharded deployment).
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
     if mode == "off":
         yield NULL
         return
-    rec = Recorder(mode, run=run, out_dir=out_dir, meta=meta, stream=stream)
+    rec = Recorder(mode, run=run, out_dir=out_dir, meta=meta, stream=stream,
+                   labels=labels)
     with rec.activate():
         try:
             yield rec

@@ -34,7 +34,10 @@ from repro.monitor import (
     SLORule,
     TraceReplay,
     prometheus_text,
+    render_top,
     sanitize_name,
+    serve_snapshot,
+    top,
 )
 from repro.serve import (
     Dispatcher,
@@ -534,3 +537,178 @@ class TestScheduleSwapReplay:
         with pytest.raises(ValueError, match="digest"):
             replay.replay(stack=replay_stack,
                           registry_root=str(tmp_path / "imposter"))
+
+
+# --------------------------------------------------------------------- #
+# Prometheus exposition edge cases (labeled registry, weird values).
+# --------------------------------------------------------------------- #
+
+
+class TestPrometheusEdgeCases:
+    def test_distinct_names_colliding_after_sanitize_raise(self):
+        agg = {"counters": {
+            "serve/shed": {"value": 1, "calls": 1},
+            "serve_shed": {"value": 2, "calls": 1},  # same sanitized name
+        }}
+        with pytest.raises(ValueError, match="collision"):
+            prometheus_text(agg)
+
+    def test_same_name_different_labels_share_one_family(self):
+        agg = {"counters": {
+            'serve/windows{shard="0"}': {"value": 3, "calls": 3,
+                                         "labels": {"shard": "0"}},
+            'serve/windows{shard="1"}': {"value": 5, "calls": 5,
+                                         "labels": {"shard": "1"}},
+        }}
+        text = prometheus_text(agg)
+        assert text.count("# TYPE repro_serve_windows_total counter") == 1
+        assert 'repro_serve_windows_total{shard="0"} 3' in text
+        assert 'repro_serve_windows_total{shard="1"} 5' in text
+
+    def test_nan_and_inf_render_prometheus_spellings(self):
+        agg = {"gauges": {
+            "g/nan": {"value": float("nan"), "calls": 1},
+            "g/pos": {"value": float("inf"), "calls": 1},
+            "g/neg": {"value": float("-inf"), "calls": 1},
+        }}
+        lines = prometheus_text(agg).splitlines()
+        assert "repro_g_nan NaN" in lines
+        assert "repro_g_pos +Inf" in lines
+        assert "repro_g_neg -Inf" in lines
+
+    def test_labeled_histogram_merges_le_into_suffix(self):
+        agg = {"histograms": {'lat{shard="2"}': {
+            "bounds": [1.0], "counts": [2, 1], "count": 3, "sum": 2.5,
+            "min": 0.5, "max": 4.0, "calls": 3, "labels": {"shard": "2"},
+        }}}
+        text = prometheus_text(agg)
+        assert 'repro_lat_bucket{shard="2",le="1"} 2' in text
+        assert 'repro_lat_bucket{shard="2",le="+Inf"} 3' in text
+        assert 'repro_lat_sum{shard="2"} 2.5' in text
+        assert 'repro_lat_count{shard="2"} 3' in text
+
+    def test_ordering_is_input_order_independent(self):
+        a = {"counters": {
+            'm{shard="1"}': {"value": 1, "calls": 1, "labels": {"shard": "1"}},
+            'm{shard="0"}': {"value": 2, "calls": 2, "labels": {"shard": "0"}},
+        }}
+        b = {"counters": dict(reversed(list(a["counters"].items())))}
+        text = prometheus_text(a)
+        assert text == prometheus_text(b)
+        assert text.index('shard="0"') < text.index('shard="1"')
+
+
+# --------------------------------------------------------------------- #
+# Live metrics plane (/metrics endpoint + serve top).
+# --------------------------------------------------------------------- #
+
+
+class TestLivePlane:
+    def _snapshot(self):
+        from repro.telemetry import Recorder, StageProfiler
+        import io as _io
+
+        rec = Recorder("summary", run="live", stream=_io.StringIO(),
+                       labels={"shard": "0"})
+        prof = StageProfiler()
+        with rec.activate():
+            from repro import telemetry
+
+            telemetry.counter_add("serve/windows", 4)
+            telemetry.counter_add("serve/arrived", 9)
+            telemetry.counter_add("serve/seed_cache", 3)
+            telemetry.counter_add("serve/seed_cold", 1)
+            telemetry.observe("serve/queue_depth", 5.0, bounds=(2.0, 8.0))
+            prof.begin_window()
+            with prof.stage("solve"):
+                pass
+            prof.observe_sim("batch_wait", 0.05)
+            prof.end_window()
+            return serve_snapshot(rec, profiler=prof, extra={"run": "live"})
+
+    def test_serve_snapshot_summarizes_labeled_run(self):
+        snap = self._snapshot()
+        status = snap["status"]
+        # Label-suffixed series still feed the status rollup.
+        assert status["seed_sources"] == {"cache": 3.0, "cold": 1.0}
+        assert status["queue_depth_p95"] == 8.0
+        assert snap["profile"]["windows"] == 1
+        assert 'serve/windows{shard="0"}' in snap["aggregate"]["counters"]
+
+    def test_render_top_is_pure_and_complete(self):
+        snap = self._snapshot()
+        text = render_top(snap)
+        assert "repro serve top — live" in text
+        assert "windows      4" in text
+        assert "cache" in text and "cold" in text
+        assert "latency budget over 1 windows" in text
+        assert "solve" in text and "(unattr)" in text
+        assert "batch_wait" in text
+        # Pure: same snapshot, same text.
+        assert render_top(snap) == text
+
+    def test_metrics_server_serves_scrape_and_snapshot(self):
+        import urllib.error
+        import urllib.request
+
+        from repro.monitor import MetricsServer
+
+        snap = self._snapshot()
+        with MetricsServer(lambda: snap) as server:
+            with urllib.request.urlopen(f"{server.url}/metrics") as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"].startswith(
+                    "text/plain; version=0.0.4")
+                body = resp.read().decode()
+            assert 'repro_serve_windows_total{shard="0"} 4' in body
+            # Mid-run scrape folds the live stage budget into gauges.
+            assert 'repro_serve_stage_total_s{stage="solve"}' in body
+            assert "repro_serve_profile_coverage_p95" in body
+            with urllib.request.urlopen(f"{server.url}/snapshot") as resp:
+                parsed = json.loads(resp.read().decode())
+            assert parsed["status"]["seed_sources"] == {"cache": 3, "cold": 1}
+            with urllib.request.urlopen(f"{server.url}/healthz") as resp:
+                assert resp.read() == b"ok\n"
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{server.url}/nope")
+            assert err.value.code == 404
+            url = server.url
+        with pytest.raises(OSError):  # context exit stopped the server
+            urllib.request.urlopen(f"{url}/healthz", timeout=0.5)
+
+    def test_top_once_renders_and_exits_clean(self):
+        import io as _io
+
+        from repro.monitor import MetricsServer, top
+
+        snap = self._snapshot()
+        out = _io.StringIO()
+        with MetricsServer(lambda: snap) as server:
+            assert top(server.url, iterations=1, stream=out) == 0
+        text = out.getvalue()
+        assert "repro serve top — live" in text
+        assert "\x1b[2J" not in text  # no ANSI clear on a non-tty stream
+
+    def test_top_unreachable_endpoint_fails_gracefully(self):
+        import io as _io
+
+        out = _io.StringIO()
+        assert top("127.0.0.1:9", iterations=1, stream=out) == 1
+        assert "cannot reach" in out.getvalue()
+
+    def test_scrape_skips_fold_when_drained_gauges_present(self):
+        from repro.monitor.live import _scrape_aggregate
+
+        snap = {
+            "aggregate": {"gauges": {
+                'serve/stage_total_s{stage="solve"}': {
+                    "value": 1.0, "calls": 1, "labels": {"stage": "solve"}},
+            }},
+            "profile": {"windows": 3, "stages": {"solve": {
+                "total_s": 1.0, "calls": 3, "self_s": 1.0,
+                "p50": 0.3, "p95": 0.4, "p99": 0.4}},
+                "unattributed": {"total_s": 0.0}, "coverage_p95": 1.0},
+        }
+        agg = _scrape_aggregate(snap)
+        # End-of-run gauges already present: the fold must not duplicate.
+        assert list(agg["gauges"]) == ['serve/stage_total_s{stage="solve"}']

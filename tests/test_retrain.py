@@ -493,27 +493,25 @@ class TestServeConfig:
         legacy.pop("solve_mode")  # pre-blocks logs
         assert ServeConfig.from_params(legacy).solve_mode == "scalar"
 
-    def test_legacy_helpers_warn_but_work(self):
-        from repro.monitor import serve_params
-        from repro.monitor import build_stack as legacy_build_stack
+    def test_legacy_helpers_removed(self):
+        # The PR-5 deprecation shims are gone: ServeConfig / build_stack
+        # from repro.serve are the only way in.
+        with pytest.raises(ImportError):
+            from repro.monitor import serve_params  # noqa: F401
+        with pytest.raises(ImportError):
+            from repro.monitor.replay import build_stack  # noqa: F401
+        import repro.monitor as monitor
 
-        with pytest.warns(DeprecationWarning):
-            params = serve_params(pool_size=20, train_epochs=1)
-        assert params["pool_size"] == 20
-        with pytest.warns(DeprecationWarning):
-            stack = legacy_build_stack(params)
-        assert len(stack) == 5
+        assert "serve_params" not in monitor.__all__
+        assert "build_stack" not in monitor.__all__
 
-    def test_clusters_registry_shim_warns(self):
+    def test_clusters_registry_shim_removed(self):
         import importlib
         import sys
 
         sys.modules.pop("repro.clusters.registry", None)
-        with pytest.warns(DeprecationWarning):
-            mod = importlib.import_module("repro.clusters.registry")
-        from repro.clusters.catalog import make_setting
-
-        assert mod.make_setting is make_setting
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.clusters.registry")
 
 
 # --------------------------------------------------------------------- #

@@ -617,6 +617,109 @@ class TestBlocksServing:
         assert traces["learned"] == traces["cache"]
 
 
+# --------------------------------------------------------------------- #
+# Stage profiler integration (latency budget).
+# --------------------------------------------------------------------- #
+
+
+class TestProfiledServing:
+    def test_profiled_trace_is_byte_identical(self, stack):
+        """The profiler is a pure observer: wall-clock only, no RNG, so
+        the dispatch trace matches the unprofiled run byte for byte (the
+        profiler-off case is the soak-SHA acceptance gate; on is
+        stronger and holds too)."""
+        from repro.telemetry.profiler import StageProfiler
+
+        pool = stack[0]
+        events = _events(pool)
+        base = _run(stack, list(events))
+        prof = StageProfiler()
+        profiled = _run(stack, list(events), profiler=prof)
+        assert profiled.trace_bytes() == base.trace_bytes()
+        assert base.profile == {}  # profiler off: stats carry no budget
+
+    def test_budget_decomposes_window_latency(self, stack):
+        from repro.telemetry.profiler import StageProfiler
+
+        pool = stack[0]
+        events = _events(pool)
+        prof = StageProfiler()
+        stats = _run(stack, list(events), profiler=prof)
+        budget = stats.profile
+        assert budget["windows"] == stats.windows
+        # The dispatcher's named depth-1 stages, all called once/window.
+        for name in ("form", "predict", "seed", "solve", "commit", "schedule"):
+            assert budget["stages"][name]["calls"] == stats.windows
+        # The method layer nests its phases under the solve stage.
+        assert "solve;relaxed" in budget["stages"]
+        assert "solve;rounding" in budget["stages"]
+        # Children never exceed their parent; self-time is the difference.
+        solve = budget["stages"]["solve"]
+        child_total = sum(
+            s["total_s"] for path, s in budget["stages"].items()
+            if path.startswith("solve;"))
+        assert child_total <= solve["total_s"] + 1e-9
+        assert solve["self_s"] == pytest.approx(solve["total_s"] - child_total)
+        # Attribution: the named stages explain the e2e window latency.
+        assert budget["coverage_p95"] >= 0.95
+        assert budget["unattributed"]["frac"] < 0.05
+        # Simulated-time stages are separate (they are not wall-clock):
+        # one batch-formation wait per window, one admission wait per
+        # dispatched task.
+        assert budget["sim_stages"]["batch_wait"]["calls"] == stats.windows
+        assert budget["sim_stages"]["admission_wait"]["calls"] >= stats.windows
+
+    def test_profiled_run_records_stage_gauges(self, stack):
+        from repro.telemetry import Recorder
+        from repro.telemetry.profiler import StageProfiler
+
+        pool, clusters, spec, method = stack
+        events = _events(pool)
+        rec = Recorder(mode="summary", run="prof", stream=io.StringIO())
+        with rec.activate():
+            d = Dispatcher(clusters, method, spec, None, profiler=StageProfiler())
+            d.run(list(events), rng=4)
+            gauges = rec.aggregate()["gauges"]
+        keys = {k.split("{", 1)[0] for k in gauges}
+        assert "serve/stage_total_s" in keys
+        assert "serve/profile_coverage_p95" in keys
+        stage_labels = {
+            g["labels"]["stage"] for k, g in gauges.items()
+            if k.split("{", 1)[0] == "serve/stage_total_s"}
+        assert "solve" in stage_labels and "unattributed" in stage_labels
+
+    def test_collapsed_stacks_and_flamegraph_file(self, stack, tmp_path):
+        from repro.telemetry.profiler import StageProfiler
+
+        pool = stack[0]
+        prof = StageProfiler()
+        _run(stack, _events(pool), profiler=prof)
+        lines = prof.collapsed_stacks()
+        assert lines
+        for line in lines:
+            frames, count = line.rsplit(" ", 1)
+            assert frames.startswith("window")
+            assert int(count) > 0
+        # Nested frames keep their full path under the root.
+        assert any(ln.startswith("window;solve;relaxed ") for ln in lines)
+        out = prof.write_flamegraph(tmp_path / "flame" / "serve.txt")
+        assert out.read_text().splitlines() == lines
+
+    def test_serve_config_profile_round_trip(self):
+        from repro.serve import ServeConfig, build_platform
+
+        config = ServeConfig(pool_size=16, train_epochs=2, profile=True)
+        assert ServeConfig.from_params(config.to_params()).profile is True
+        assert ServeConfig.from_params({
+            k: v for k, v in config.to_params().items() if k != "profile"
+        }).profile is False  # older param dicts: profiling defaults off
+        platform = build_platform(config)
+        assert platform.profiler is not None
+        assert platform.dispatcher.profiler is platform.profiler
+        off = build_platform(config.with_overrides(profile=False))
+        assert off.profiler is None
+
+
 class TestWarmStartRegistry:
     def _trained_head(self):
         from repro.serve import WarmStartHead

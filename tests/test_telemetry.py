@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import io
 import json
+import time
 
 import numpy as np
 import pytest
@@ -13,19 +14,26 @@ from repro.telemetry import (
     ITER_BUCKETS,
     MODES,
     NULL,
+    NULL_PROFILER,
     NULL_SPAN,
     Counter,
     Gauge,
     Histogram,
+    MetricRegistry,
     Recorder,
+    StageProfiler,
     aggregate_events,
+    aggregate_runs,
     current_path,
     get_recorder,
     load_run,
+    merge_aggregates,
     meta_of,
     quantile,
     recording,
     run_metadata,
+    series_key,
+    split_series_key,
 )
 from repro import telemetry
 
@@ -269,7 +277,7 @@ class TestJsonlRoundTrip:
         _record_workload(rec)
         events = load_run(rec.close())
         head = meta_of(events)
-        assert head["type"] == "meta" and head["schema"] == 1
+        assert head["type"] == "meta" and head["schema"] == 2
         assert head["run"] == "rt"
         assert head["seeds"] == [0, 1]
         assert head["note"] == "x"
@@ -393,3 +401,246 @@ class TestIntegration:
         with pytest.raises(ValueError):
             with recording(mode="nope"):
                 pass
+
+
+# --------------------------------------------------------------------- #
+# Labeled series and the metric registry (schema 2).
+# --------------------------------------------------------------------- #
+
+
+class TestSeriesKeys:
+    def test_unlabeled_key_is_the_bare_name(self):
+        assert series_key("serve/windows") == "serve/windows"
+        assert series_key("serve/windows", {}) == "serve/windows"
+
+    def test_labels_sorted_and_escaped(self):
+        key = series_key("m", {"b": "2", "a": "1"})
+        assert key == 'm{a="1",b="2"}'
+        # Insertion order never changes the canonical key.
+        assert key == series_key("m", {"a": "1", "b": "2"})
+        assert series_key("m", {"x": 'say "hi"\n'}) == 'm{x="say \\"hi\\"\\n"}'
+
+    def test_split_round_trip(self):
+        assert split_series_key("plain") == ("plain", "")
+        name, suffix = split_series_key('m{a="1",b="2"}')
+        assert name == "m" and suffix == '{a="1",b="2"}'
+
+    def test_invalid_label_names_rejected(self):
+        reg = MetricRegistry()
+        for bad in ("", "0lead", "has-dash", "has space"):
+            with pytest.raises(ValueError, match="label name"):
+                reg.counter_add("m", labels={bad: "v"})
+        with pytest.raises(ValueError, match="label name"):
+            MetricRegistry(base_labels={"bad-name": "v"})
+
+
+class TestMetricRegistry:
+    def test_base_labels_stamp_every_series(self):
+        reg = MetricRegistry(base_labels={"shard": "3"})
+        reg.counter_add("serve/windows")
+        reg.gauge_set("depth", 7.0)
+        reg.observe("lat", 0.5, bounds=(1.0,))
+        snap = reg.snapshot()
+        assert set(snap["counters"]) == {'serve/windows{shard="3"}'}
+        assert set(snap["gauges"]) == {'depth{shard="3"}'}
+        assert set(snap["histograms"]) == {'lat{shard="3"}'}
+        for section in ("counters", "gauges", "histograms"):
+            (state,) = snap[section].values()
+            assert state["labels"] == {"shard": "3"}
+
+    def test_call_labels_merge_over_base(self):
+        reg = MetricRegistry(base_labels={"shard": "0"})
+        reg.counter_add("serve/windows", labels={"predictor_version": "v3"})
+        (key,) = reg.snapshot()["counters"]
+        assert key == 'serve/windows{predictor_version="v3",shard="0"}'
+
+    def test_unlabeled_state_has_no_labels_field(self):
+        """Schema-1 compatibility: an unlabeled registry serializes
+        byte-identically to the old bare instruments."""
+        reg = MetricRegistry()
+        reg.counter_add("n", 2.0)
+        state = reg.snapshot()["counters"]["n"]
+        assert state == {"value": 2.0, "calls": 1}
+
+    def test_same_name_different_labels_are_distinct_series(self):
+        reg = MetricRegistry()
+        reg.counter_add("serve/windows", labels={"shard": "0"})
+        reg.counter_add("serve/windows", 2.0, labels={"shard": "1"})
+        reg.counter_add("serve/windows", 4.0, labels={"shard": "0"})
+        snap = reg.snapshot()["counters"]
+        assert snap['serve/windows{shard="0"}']["value"] == 5.0
+        assert snap['serve/windows{shard="1"}']["value"] == 2.0
+
+    def test_recorder_delegates_labels(self):
+        rec = Recorder("summary", run="t", labels={"shard": "0"})
+        with rec.activate():
+            telemetry.counter_add("serve/windows")
+            telemetry.observe("lat", 0.5, bounds=(1.0,))
+        agg = rec.aggregate()
+        assert 'serve/windows{shard="0"}' in agg["counters"]
+        assert 'lat{shard="0"}' in agg["histograms"]
+
+
+class TestFleetAggregation:
+    def _record(self, tmp_path, shard, windows, lat):
+        with recording(mode="jsonl", run=f"shard{shard}", out_dir=tmp_path,
+                       labels={"shard": shard}) as rec:
+            telemetry.counter_add("serve/windows", windows)
+            telemetry.gauge_set("serve/queue_depth_last", 3.0 + windows)
+            for v in lat:
+                telemetry.observe("serve/lat", v, bounds=(0.5, 1.0))
+            rec.event("serve/arrival", t=0.1, task_id=0)
+        return tmp_path / f"shard{shard}.jsonl", rec.aggregate()
+
+    def test_two_recorder_merge_is_lossless(self, tmp_path):
+        """The acceptance gate: series recorded under distinct shard
+        labels survive a fleet merge byte-for-byte — nothing sums across
+        shards, nothing is dropped."""
+        path0, agg0 = self._record(tmp_path, "0", windows=3, lat=[0.2, 0.7])
+        path1, agg1 = self._record(tmp_path, "1", windows=5, lat=[1.4])
+        fleet = aggregate_runs([path0, path1])
+        for agg in (agg0, agg1):
+            for section in ("counters", "gauges", "histograms"):
+                for key, state in agg[section].items():
+                    assert fleet[section][key] == state
+        assert set(fleet["counters"]) == {
+            'serve/windows{shard="0"}', 'serve/windows{shard="1"}'}
+
+    def test_identical_keys_accumulate(self):
+        h = {"bounds": [1.0], "counts": [2, 1], "count": 3, "sum": 2.5,
+             "min": 0.1, "max": 3.0, "calls": 3}
+        h2 = {"bounds": [1.0], "counts": [0, 4], "count": 4, "sum": 9.0,
+              "min": 2.0, "max": 4.0, "calls": 4}
+        merged = merge_aggregates([
+            {"counters": {"n": {"value": 1.0, "calls": 1}},
+             "gauges": {"g": {"value": 5.0, "calls": 1}},
+             "histograms": {"h": h},
+             "spans": {"fit": {"total_s": 1.0, "calls": 2, "errors": 0}}},
+            {"counters": {"n": {"value": 2.0, "calls": 3}},
+             "gauges": {"g": {"value": 9.0, "calls": 2}},
+             "histograms": {"h": h2},
+             "spans": {"fit": {"total_s": 0.5, "calls": 1, "errors": 1}}},
+        ])
+        assert merged["counters"]["n"] == {"value": 3.0, "calls": 4}
+        assert merged["gauges"]["g"]["value"] == 9.0  # last writer wins
+        assert merged["gauges"]["g"]["calls"] == 3
+        hm = merged["histograms"]["h"]
+        assert hm["counts"] == [2, 5] and hm["count"] == 7
+        assert hm["min"] == 0.1 and hm["max"] == 4.0
+        assert merged["spans"]["fit"] == {
+            "total_s": 1.5, "calls": 3, "errors": 1}
+
+    def test_histogram_bounds_mismatch_raises(self):
+        a = {"histograms": {"h": {"bounds": [1.0], "counts": [1, 0],
+                                  "count": 1, "sum": 0.5, "calls": 1}}}
+        b = {"histograms": {"h": {"bounds": [2.0], "counts": [1, 0],
+                                  "count": 1, "sum": 0.5, "calls": 1}}}
+        with pytest.raises(ValueError, match="mismatched bucket bounds"):
+            merge_aggregates([a, b])
+
+    def test_quantile_of_merged_overflow_histogram(self):
+        """Merged states lose per-value detail but never surface +inf:
+        all-overflow mass falls back to the max sidecar."""
+        h = {"bounds": [1.0], "counts": [0, 3], "count": 3, "sum": 9.0,
+             "min": 2.0, "max": 4.0, "calls": 3}
+        merged = merge_aggregates([{"histograms": {"h": h}}])
+        assert quantile(merged["histograms"]["h"], 0.5) == 4.0
+
+
+class TestQuantileHardening:
+    """The documented finite-sentinel contract for degenerate states."""
+
+    def test_empty_states_return_zero(self):
+        assert quantile({"bounds": [1.0], "counts": [], "count": 0}, 0.9) == 0.0
+        assert quantile({"bounds": [1.0], "counts": [0, 0], "count": 0}, 0.5) == 0.0
+        assert quantile({"bounds": [1.0]}, 0.5) == 0.0
+
+    def test_all_mass_in_overflow_uses_max_sidecar(self):
+        h = Histogram("h", bounds=(1.0, 2.0))
+        h.observe(50.0, n=4)
+        assert quantile(h, 0.5) == 50.0
+        assert quantile(h, 1.0) == 50.0
+
+    def test_overflow_without_finite_max_falls_back_to_last_bound(self):
+        state = {"bounds": [1.0, 2.0], "counts": [0, 0, 5], "count": 5}
+        assert quantile(state, 0.5) == 2.0  # max sidecar missing
+        state["max"] = None
+        assert quantile(state, 0.5) == 2.0
+        state["max"] = float("inf")
+        assert quantile(state, 0.5) == 2.0  # non-finite sidecar ignored
+        state["max"] = 7.5
+        assert quantile(state, 0.5) == 7.5
+
+
+# --------------------------------------------------------------------- #
+# Stage profiler (unit level; serving integration in test_serve.py).
+# --------------------------------------------------------------------- #
+
+
+class TestStageProfiler:
+    def test_null_profiler_is_inert(self):
+        assert NULL_PROFILER.enabled is False
+        with NULL_PROFILER.stage("anything"):
+            pass
+        NULL_PROFILER.begin_window()
+        NULL_PROFILER.end_window()
+        NULL_PROFILER.observe_sim("wait", 1.0)
+        assert NULL_PROFILER.events_recorded == 0
+
+    def test_empty_budget(self):
+        budget = StageProfiler().budget()
+        assert budget["windows"] == 0
+        assert budget["stages"] == {} and budget["sim_stages"] == {}
+        assert budget["coverage_p95"] == 0.0
+
+    def test_nested_stages_build_paths_and_self_time(self):
+        prof = StageProfiler()
+        prof.begin_window()
+        with prof.stage("solve"):
+            with prof.stage("relaxed"):
+                pass
+            with prof.stage("rounding"):
+                pass
+        prof.end_window()
+        budget = prof.budget()
+        assert set(budget["stages"]) == {
+            "solve", "solve;relaxed", "solve;rounding"}
+        solve = budget["stages"]["solve"]
+        children = (budget["stages"]["solve;relaxed"]["total_s"]
+                    + budget["stages"]["solve;rounding"]["total_s"])
+        assert solve["self_s"] == pytest.approx(solve["total_s"] - children)
+        assert budget["windows"] == 1
+        # Only depth-1 time counts toward attribution (children are
+        # already inside their parent's duration).
+        assert budget["e2e"]["total_s"] >= solve["total_s"] > 0.0
+        assert 0.0 < budget["coverage_p95"] <= 1.0
+
+    def test_sim_stages_are_separate_from_wall_clock(self):
+        prof = StageProfiler()
+        prof.begin_window()
+        with prof.stage("form"):
+            pass
+        prof.observe_sim("admission_wait", 0.25, n=3)
+        prof.observe_sim("batch_wait", 0.1)
+        prof.end_window()
+        budget = prof.budget()
+        sim = budget["sim_stages"]
+        assert sim["admission_wait"]["calls"] == 3
+        assert sim["admission_wait"]["total_hours"] == pytest.approx(0.75)
+        assert sim["batch_wait"]["p50"] == pytest.approx(0.1)
+        # Simulated hours never pollute the wall-clock coverage.
+        assert budget["e2e"]["total_s"] < 0.25
+
+    def test_collapsed_stacks_include_residual_root(self, tmp_path):
+        prof = StageProfiler()
+        prof.begin_window()
+        with prof.stage("form"):
+            pass
+        deadline = time.perf_counter() + 0.002
+        while time.perf_counter() < deadline:
+            pass  # unattributed work between stages
+        prof.end_window()
+        lines = prof.collapsed_stacks()
+        assert any(ln.startswith("window ") for ln in lines)  # residual
+        out = prof.write_flamegraph(tmp_path / "flame.txt")
+        assert out.read_text().strip().splitlines() == lines
