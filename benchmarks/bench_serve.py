@@ -19,11 +19,20 @@ convention as ``bench_micro.py`` → ``BENCH_train_round.json``):
   scalar-vs-blocks window solves on specialist fleets at growing
   ``--tasks x --clusters`` sizes (default sweep up to 200x200) — the
   block-decomposition perf numbers (``"scaling"`` key of the report).
+- **sharding** (:func:`repro.fleet.run_sharding_benchmark`): matching
+  capacity across fleets of ``--shards`` dispatcher shards (default
+  1,2,4,8) at saturating offered load (4x the soak rate — at the soak
+  rate a single dispatcher idles, so sharding could only dilute its
+  batches) — aggregate tasks/s against the slowest shard's decide time
+  and p95 decide latency per shard count — plus a 1-shard *anchor* run
+  on the exact warm soak workload whose trace must stay byte-identical
+  to the unsharded warm soak (``"sharding"`` key of the report).
 
 Run ``python benchmarks/bench_serve.py`` for the full-size numbers;
 ``--tasks/--clusters`` override the sweep sizes (comma lists, zipped
-pairwise), ``--smoke`` shrinks everything to CI scale.  The pytest entry
-points are CI-sized smokes gating the serving invariants.
+pairwise), ``--shards`` the fleet sweep, ``--smoke`` shrinks everything
+to CI scale.  The pytest entry points are CI-sized smokes gating the
+serving invariants.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ import argparse
 import json
 from pathlib import Path
 
+from repro.fleet import run_sharding_benchmark
 from repro.serve import run_scaling_benchmark, run_serve_benchmark
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
@@ -103,6 +113,59 @@ def test_scaling_bench_smoke(tmp_path):
     assert report["min_iters_ratio"] >= 1.0
 
 
+def test_sharding_bench_smoke(tmp_path):
+    """Gate (CI): the sharding sweep conserves per shard, routes every
+    arrival exactly once, saturates the 1-shard baseline, and
+    multi-shard fleets beat its capacity and aggregate throughput."""
+    out = tmp_path / "BENCH_sharding.json"
+    report = run_sharding_benchmark(shard_counts=(1, 2, 4), smoke=True,
+                                    out_path=out)
+    assert out.exists()
+    assert json.loads(out.read_text()) == report
+    # Determinism anchor: the exact warm-soak workload through a 1-shard
+    # fleet (its SHA is gated against the warm soak in main()).
+    anchor = report["anchor"]
+    assert anchor["shards"] == 1 and anchor["conserved"]
+    assert len(anchor["trace_sha256"]) == 64
+    base = report["entries"][0]
+    assert base["shards"] == 1
+    # The sweep must actually saturate the baseline, or "capacity" is
+    # meaningless: under saturation the dispatcher is batch-bound (fires
+    # a window as soon as max_batch tasks queue), so its mean batch must
+    # sit near max_batch rather than at the timeout-fired trickle.
+    assert base["matched"] / base["windows"] >= 0.8 * report["max_batch"], (
+        "1-shard baseline not batch-bound — raise saturation")
+    for entry in report["entries"]:
+        assert entry["conserved"], "per-shard conservation violated"
+        assert entry["matched_identity"], (
+            "matched != completed + failed + requeued on some shard")
+        # Exact stream partition: no arrival lost or double-routed.
+        assert sum(entry["per_shard_matched"]) == entry["matched"]
+        assert entry["arrived"] == base["arrived"]
+        assert entry["completed"] + entry["failed"] + entry["shed"] \
+            + entry["unserved"] == entry["arrived"]
+        # Scale-out never loses work: every fleet serves the whole stream.
+        assert entry["matched"] == base["matched"]
+    # Capacity scales out: each added shard takes a slice of the
+    # baseline's back-to-back full windows, so the critical path (the
+    # slowest shard's decide time) shrinks and aggregate throughput
+    # rises.  Smoke sizes are tiny, so gate monotone improvement here;
+    # the full-size >= 3x at 4 shards is gated on the committed numbers.
+    for entry in report["entries"][1:]:
+        assert entry["max_shard_decide_s"] < base["max_shard_decide_s"]
+        assert entry["throughput_tasks_per_s"] > base["throughput_tasks_per_s"]
+
+
+def test_sharding_committed_numbers():
+    """Gate (CI): the committed full-size BENCH_serve.json sharding sweep
+    reaches >= 3x aggregate throughput at 4 shards, and its 1-shard
+    anchor trace equals the unsharded warm soak's."""
+    report = json.loads(BENCH_JSON.read_text())
+    sharding = report["sharding"]
+    assert sharding["anchor"]["trace_sha256"] == report["warm"]["trace_sha256"]
+    assert sharding["speedup_vs_1shard"]["4"] >= 3.0
+
+
 def _csv_ints(text: str) -> "list[int]":
     return [int(v) for v in text.split(",") if v.strip()]
 
@@ -113,6 +176,8 @@ def main(argv: "list[str] | None" = None) -> None:
                         help="scaling sweep window sizes (tasks per window)")
     parser.add_argument("--clusters", default=None, metavar="M0,M1,...",
                         help="scaling sweep fleet sizes (zipped with --tasks)")
+    parser.add_argument("--shards", default="1,2,4,8", metavar="N0,N1,...",
+                        help="sharding sweep shard counts")
     parser.add_argument("--smoke", action="store_true",
                         help="CI-sized run (short soak, small sweep)")
     parser.add_argument("--output", default=str(BENCH_JSON), metavar="PATH",
@@ -134,6 +199,8 @@ def main(argv: "list[str] | None" = None) -> None:
     report = run_serve_benchmark(smoke=args.smoke,
                                  flamegraph_path=args.flamegraph)
     report["scaling"] = run_scaling_benchmark(sizes=sizes, smoke=args.smoke)
+    report["sharding"] = run_sharding_benchmark(
+        shard_counts=tuple(_csv_ints(args.shards)), smoke=args.smoke)
     out = Path(args.output)
     out.parent.mkdir(parents=True, exist_ok=True)
     with open(out, "w") as fh:
@@ -159,6 +226,24 @@ def main(argv: "list[str] | None" = None) -> None:
             f"{entry['blocks']['iterations']} it "
             f"({entry['blocks']['wall_s']}s, {entry['blocks']['n_blocks']} "
             f"blocks) -> {entry['iters_ratio']}x"
+        )
+    sharding = report["sharding"]
+    anchor_match = (
+        sharding["anchor"]["trace_sha256"] == report["warm"]["trace_sha256"])
+    print(
+        f"sharding anchor (1 shard @ {sharding['rate_per_hour']:.0f}/h): "
+        f"trace == warm soak: {anchor_match}"
+    )
+    assert anchor_match, "1-shard fleet anchor diverged from the warm soak"
+    for entry in sharding["entries"]:
+        speedup = sharding["speedup_vs_1shard"][str(entry["shards"])]
+        print(
+            f"sharding {entry['shards']} shard(s) @ "
+            f"{sharding['offered_rate_per_hour']:.0f}/h: "
+            f"matched {entry['matched']}/{entry['arrived']} "
+            f"({entry['throughput_tasks_per_s']:.0f} tasks/s, "
+            f"p95 {entry['p95_decide_ms']}ms, speedup {speedup}x, "
+            f"rerouted {entry['rerouted']})"
         )
 
 

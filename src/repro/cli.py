@@ -25,13 +25,26 @@ Commands
     endpoints during the run (``--metrics-hold`` keeps them up after);
     ``--shard`` labels every recorded series for fleet aggregation.
 ``serve top``
-    Terminal dashboard refreshing against a running serve run's
-    ``/snapshot`` endpoint: queue depth, seed sources, per-stage
-    latency budgets, SLO burn rates.
+    Terminal dashboard refreshing against one or more ``/snapshot``
+    endpoints (several merge into the fleet view with a per-shard
+    breakdown; ``--log`` renders from JSONL run logs instead): queue
+    depth, seed sources, per-stage latency budgets, SLO burn rates.
 ``serve bench``
     Cold-vs-warm serving soak benchmark (``--smoke`` for the CI-sized
     run, ``--output`` to write a ``BENCH_serve.json``-shaped report,
     ``--flamegraph`` to export the profiled pass's collapsed stacks).
+``fleet run``
+    Route one arrival stream across N per-shard dispatchers
+    (consistent-hash or load-aware routing, replicate or family
+    partition) and summarize the merged fleet outcome.
+    ``--telemetry jsonl`` writes one replayable log per shard.
+``fleet bench``
+    Throughput-vs-shard-count sweep on the warm soak workload
+    (``--shards 1,2,4,8``); writes the ``"sharding"`` scaling curve.
+``fleet replay``
+    Rebuild a whole fleet run from its per-shard JSONL logs, re-drive
+    it (router included), and verify counters, routing determinism and
+    conservation.
 ``monitor``
     Render a monitoring snapshot (Prometheus text exposition + alert
     listing) from a JSONL telemetry run log.  Repeat ``--log`` to merge
@@ -167,12 +180,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="label every recorded series with shard=ID "
                             "(fleet runs merge losslessly via "
                             "'repro monitor --log a --log b')")
+    p_run.add_argument("--instance", default=None, metavar="NAME",
+                       help="label every recorded series with instance=NAME "
+                            "(distinguishes replicas of one shard)")
 
     p_top = serve_sub.add_parser(
-        "top", help="terminal dashboard against a run's /snapshot endpoint")
-    p_top.add_argument("url", metavar="URL",
-                       help="metrics endpoint (host:port or http://host:port) "
-                            "of a 'serve run --metrics-port' process")
+        "top", help="terminal dashboard against one or more /snapshot "
+                    "endpoints (several = merged fleet view)")
+    p_top.add_argument("urls", metavar="URL", nargs="*",
+                       help="metrics endpoint(s) (host:port or "
+                            "http://host:port) of 'serve run --metrics-port' "
+                            "processes; several merge into one fleet view")
+    p_top.add_argument("--log", action="append", default=None, metavar="PATH",
+                       help="render from JSONL run log(s) instead of live "
+                            "endpoints (repeat per shard; implies --once)")
     p_top.add_argument("--interval", type=float, default=2.0,
                        help="refresh period in seconds")
     p_top.add_argument("--once", action="store_true",
@@ -187,6 +208,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--flamegraph", default=None, metavar="PATH",
                          help="write the profiled pass's collapsed-stack "
                               "profile here")
+
+    p_fleet = sub.add_parser("fleet",
+                             help="sharded multi-dispatcher platform")
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_common = argparse.ArgumentParser(add_help=False)
+    fleet_common.add_argument("--shards", type=int, default=4,
+                              help="number of dispatcher shards")
+    fleet_common.add_argument("--routing", choices=["hash", "load"],
+                              default="hash",
+                              help="consistent-hash or load-aware routing")
+    fleet_common.add_argument("--partition", choices=["replicate", "family"],
+                              default="replicate",
+                              help="replicate the setting's cluster pool per "
+                                   "shard, or family-shard a specialist pool")
+    fleet_common.add_argument("--pool-m", type=int, default=8,
+                              help="specialist pool size for "
+                                   "--partition family")
+
+    p_frun = fleet_sub.add_parser(
+        "run", parents=[common, fleet_common],
+        help="route one arrival stream across N shards and summarize")
+    p_frun.add_argument("--train-epochs", type=int, default=120,
+                        help="TSM predictor training epochs")
+    p_frun.add_argument("--telemetry", choices=["off", "summary", "jsonl"],
+                        default="summary",
+                        help="per-shard recording; jsonl writes one "
+                             "replayable log per shard")
+    p_frun.add_argument("--out-dir", default=None, metavar="DIR",
+                        help="directory for per-shard JSONL logs "
+                             "(default results/telemetry)")
+    p_frun.add_argument("--profile", action="store_true",
+                        help="attach per-shard stage profilers")
+    p_frun.add_argument("--flamegraph", default=None, metavar="PATH",
+                        help="write the merged fleet collapsed-stack "
+                             "profile here (implies --profile)")
+
+    p_fbench = fleet_sub.add_parser(
+        "bench", parents=[common],
+        help="throughput-vs-shard-count sweep on the warm soak workload")
+    p_fbench.add_argument("--shards", default="1,2,4,8", metavar="N,N,...",
+                          help="comma-separated shard counts to sweep")
+    p_fbench.add_argument("--routing", choices=["hash", "load"],
+                          default="hash")
+    p_fbench.add_argument("--smoke", action="store_true",
+                          help="CI-sized run (short horizon, small pool)")
+    p_fbench.add_argument("--output", default=None, metavar="PATH",
+                          help="write the JSON report here")
+
+    p_freplay = fleet_sub.add_parser(
+        "replay", help="re-drive a fleet run from its per-shard JSONL logs")
+    p_freplay.add_argument("--log", required=True, action="append",
+                           metavar="PATH",
+                           help="per-shard run log (repeat once per shard)")
+    p_freplay.add_argument("--registry", default=None, metavar="DIR",
+                           help="original checkpoint registry (required when "
+                                "the logs contain fleet hot-swaps)")
 
     p_mon = sub.add_parser("monitor",
                            help="monitoring snapshot from JSONL run log(s)")
@@ -323,9 +400,20 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.serve_command == "top":
-        from repro.monitor import top
+        from repro.monitor import render_top, snapshot_from_logs, top
 
-        return top(args.url, interval=args.interval,
+        if args.log:
+            if args.urls:
+                print("serve top: give URLs or --log, not both",
+                      file=sys.stderr)
+                return 2
+            print(render_top(snapshot_from_logs(args.log)))
+            return 0
+        if not args.urls:
+            print("serve top: need at least one URL (or --log PATH)",
+                  file=sys.stderr)
+            return 2
+        return top(args.urls, interval=args.interval,
                    iterations=1 if args.once else None)
 
     if args.serve_command == "bench":
@@ -408,6 +496,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         monitor=monitor_cfg,
         retrain=retrain_cfg,
         registry_root=args.registry if args.retrain else None,
+        shard=args.shard,
+        instance=args.instance,
     )
     print(f"training TSM predictors ({args.train_epochs} epochs) ...")
     platform = build_platform(config)
@@ -424,7 +514,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # The meta["serve"] config plus the serve/arrival, serve/outage and
     # serve/hot_swap breadcrumbs make a jsonl log fully replayable
     # (``repro replay``), retrain-driven swaps included.
-    labels = {"shard": args.shard} if args.shard is not None else None
+    labels = config.identity_labels() or None
     # Shard-qualified run name: fleet members each get their own JSONL
     # log, merged later with 'repro monitor --log a --log b'.
     run_name = "serve-run" if args.shard is None else f"serve-run-{args.shard}"
@@ -517,6 +607,124 @@ def _print_retrain_outcome(controller, registry, stats) -> None:
     print(f"registry: {len(registry)} version(s), live={registry.live()}, "
           f"lineage={' <- '.join(registry.lineage())}, "
           f"{stats.swaps} hot-swap(s) applied")
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.fleet_command == "replay":
+        from repro.fleet import FleetReplay
+
+        try:
+            replay = FleetReplay.from_logs(args.log)
+        except ValueError as exc:
+            print(f"cannot replay fleet: {exc}", file=sys.stderr)
+            return 2
+        n_arrivals = len(replay.merged_arrivals())
+        print(f"replaying {n_arrivals} arrivals across "
+              f"{replay.config.n_shards} shard(s) from {len(args.log)} "
+              "log(s) ...")
+        try:
+            stats = replay.replay(registry_root=args.registry)
+        except ValueError as exc:
+            print(f"fleet replay refused: {exc}", file=sys.stderr)
+            return 2
+        print(stats.summary())
+        problems = replay.verify(stats)
+        if problems:
+            print("fleet replay verification FAILED:", file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        print("fleet replay verified: per-shard counters, routing "
+              "determinism and fleet conservation match the logs")
+        return 0
+
+    if args.fleet_command == "bench":
+        from repro.fleet import run_sharding_benchmark
+
+        try:
+            shard_counts = tuple(int(s) for s in args.shards.split(",") if s)
+        except ValueError:
+            print(f"--shards must be comma-separated ints, got "
+                  f"{args.shards!r}", file=sys.stderr)
+            return 2
+        report = run_sharding_benchmark(
+            shard_counts=shard_counts,
+            setting=args.setting,
+            pattern=args.pattern,
+            rate_per_hour=args.rate,
+            horizon_hours=args.horizon,
+            pool_size=args.pool_size,
+            max_batch=args.max_batch,
+            max_wait_hours=args.max_wait,
+            queue_capacity=args.queue_capacity,
+            seed=args.seed,
+            routing=args.routing,
+            smoke=args.smoke,
+            out_path=args.output,
+        )
+        anchor = report["anchor"]
+        print(f"anchor (1 shard @ {anchor['rate_per_hour']:.0f}/h soak): "
+              f"trace {anchor['trace_sha256'][:16]}…")
+        print(f"sweep @ {report['offered_rate_per_hour']:.0f}/h "
+              f"({report['saturation']:.0f}x saturation):")
+        for e in report["entries"]:
+            print(f"shards={e['shards']:>2}: windows={e['windows']} "
+                  f"matched={e['matched']} shed={e['shed']} "
+                  f"throughput={e['throughput_tasks_per_s']:.0f} tasks/s "
+                  f"p95={e['p95_decide_ms']:.1f}ms "
+                  f"(speedup "
+                  f"{report['speedup_vs_1shard'][str(e['shards'])]}x)")
+        if args.output:
+            print(f"wrote {args.output}")
+        return 0
+
+    # fleet run
+    from repro.fleet import FleetConfig, FleetController
+    from repro.serve import ServeConfig
+    from repro.utils.rng import as_generator
+
+    try:
+        config = FleetConfig(
+            n_shards=args.shards,
+            routing=args.routing,
+            partition=args.partition,
+            pool_m=args.pool_m,
+            serve=ServeConfig(
+                setting=args.setting,
+                pool_size=args.pool_size,
+                seed=args.seed,
+                train_epochs=args.train_epochs,
+                max_batch=args.max_batch,
+                max_wait_hours=args.max_wait,
+                queue_capacity=args.queue_capacity,
+                profile=args.profile or args.flamegraph is not None,
+            ),
+        )
+    except ValueError as exc:
+        print(f"invalid fleet flags: {exc}", file=sys.stderr)
+        return 2
+    print(f"training predictors for {config.n_shards} shard(s) "
+          f"({config.partition} partition, {args.train_epochs} epochs) ...")
+    controller = FleetController(config)
+    from repro.serve.loadgen import make_load
+
+    events = make_load(args.pattern, controller.pool, args.rate).draw(
+        args.horizon, as_generator(args.seed + 3))
+    stats = controller.run(events, telemetry=args.telemetry,
+                           out_dir=args.out_dir)
+    print(f"{len(events)} arrivals over {args.horizon:g}h ({args.pattern}), "
+          f"{args.routing} routing")
+    print(stats.summary())
+    for sid, shard_stats in enumerate(stats.per_shard):
+        print(f"  shard {sid}: {shard_stats.summary()}")
+    print(f"fleet trace sha256: {stats.trace_sha256()}")
+    if args.flamegraph:
+        out = controller.write_flamegraph(args.flamegraph)
+        print(f"wrote {out} (collapsed stacks: speedscope / flamegraph.pl)")
+    if args.telemetry == "jsonl":
+        print("per-shard logs replay with: repro fleet replay "
+              "--log <s0.jsonl> --log <s1.jsonl> ...")
+    return 0
 
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
@@ -627,6 +835,7 @@ def main(argv: "list[str] | None" = None) -> int:
         "trace": _cmd_trace,
         "demo": _cmd_demo,
         "serve": _cmd_serve,
+        "fleet": _cmd_fleet,
         "monitor": _cmd_monitor,
         "replay": _cmd_replay,
         "retrain": _cmd_retrain,

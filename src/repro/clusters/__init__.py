@@ -14,6 +14,7 @@ from repro.clusters.catalog import (
     make_pool,
     make_setting,
     make_specialist_pool,
+    shard_pool,
 )
 from repro.clusters.reliability import ReliabilityModel
 
@@ -31,4 +32,5 @@ __all__ = [
     "make_pool",
     "make_setting",
     "make_specialist_pool",
+    "shard_pool",
 ]

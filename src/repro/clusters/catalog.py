@@ -26,6 +26,7 @@ __all__ = [
     "make_setting",
     "make_pool",
     "make_specialist_pool",
+    "shard_pool",
     "SETTINGS",
 ]
 
@@ -229,3 +230,43 @@ def make_specialist_pool(
             rel=ReliabilityModel(hardware=hw),
         ))
     return clusters
+
+
+def _dominant_family(cluster: Cluster) -> tuple[int, float]:
+    """Sort key for family sharding: (family rank, -affinity strength).
+
+    The rank is the :class:`Family` enum position of the cluster's
+    strongest affinity, so specialists for the same family sort together;
+    stronger specialists come first within a family.  Clusters with an
+    empty affinity map rank after every family.
+    """
+    affinity = cluster.hardware.family_affinity
+    if not affinity:
+        return (len(Family), 0.0)
+    families = list(Family)
+    best = max(affinity, key=lambda f: (affinity[f], -families.index(f)))
+    return (families.index(best), -affinity[best])
+
+
+def shard_pool(clusters: Sequence[Cluster], n_shards: int) -> list[list[Cluster]]:
+    """Partition a cluster pool into ``n_shards`` family-coherent shards.
+
+    Clusters are ordered by dominant family (strongest
+    ``family_affinity`` entry, ties broken by :class:`Family` order,
+    then ``cluster_id``) and dealt round-robin, so each shard receives a
+    contiguous run of same-family specialists when the pool is built by
+    :func:`make_specialist_pool` and a balanced mix otherwise.  The
+    shards exactly partition the input: every cluster lands in one shard
+    and ``cluster_id`` values are preserved.  Deterministic: no RNG.
+    """
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    if n_shards > len(clusters):
+        raise ValueError(
+            f"n_shards={n_shards} exceeds pool size {len(clusters)}"
+        )
+    ordered = sorted(clusters, key=lambda c: (*_dominant_family(c), c.cluster_id))
+    shards: list[list[Cluster]] = [[] for _ in range(n_shards)]
+    for i, cluster in enumerate(ordered):
+        shards[i % n_shards].append(cluster)
+    return shards

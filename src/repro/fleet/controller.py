@@ -1,0 +1,549 @@
+"""The fleet controller: N per-shard dispatchers behind one router.
+
+:class:`FleetController` turns a :class:`~repro.fleet.config.FleetConfig`
+into a running sharded platform:
+
+1. **partition** — the cluster pool splits per the config
+   (``"replicate"``: every shard serves the full setting with a copy of
+   one trained stack; ``"family"``: a specialist pool splits
+   family-coherently via :func:`repro.clusters.shard_pool`, one trained
+   stack per shard);
+2. **route** — every arrival is assigned a shard by a deterministic
+   router (:mod:`repro.fleet.router`), with re-route around shards whose
+   clusters are *all* down;
+3. **dispatch** — each shard's :class:`repro.serve.Dispatcher` consumes
+   its sub-stream against the one shared simulated clock (all shards see
+   the same arrival hours; no shard-local time exists), seeded by the
+   same serve-seed convention (``seed + 4``) as the unsharded platform.
+
+Shards are simulated sequentially in-process but are *independent* by
+construction — no state crosses a shard boundary during a run — so the
+per-shard traces model N parallel dispatcher processes.  That is also
+why :class:`FleetStats` reports aggregate throughput against the
+*slowest shard's* decide time (the fleet's critical path), not the sum.
+
+Determinism: routing is a pure function of (task id, arrival hour,
+up-shard set), every shard runs ``rng = seed + 4``, and
+:meth:`FleetStats.trace_bytes` concatenates the per-shard canonical
+traces in shard order — one seed reproduces the merged event trace
+byte-for-byte, and a 1-shard fleet reproduces the unsharded
+dispatcher's trace exactly.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.fleet.config import FleetConfig
+from repro.fleet.router import full_down_intervals, make_router
+from repro.serve.config import build_stack
+from repro.serve.dispatcher import Dispatcher, Outage, ServeStats
+from repro.telemetry import recording
+from repro.workloads.taskpool import Task
+
+__all__ = ["FleetStats", "FleetController", "run_sharding_benchmark"]
+
+
+@dataclass
+class FleetStats:
+    """Merged outcome of one fleet run (per-shard stats + routing)."""
+
+    per_shard: "list[ServeStats]"
+    #: Per-shard routed arrivals ``(hour, task_id)`` in admission order —
+    #: the routing decision record replay verifies against logged
+    #: ``serve/arrival`` streams.
+    routes: "list[list[tuple[float, int]]]"
+    #: Arrivals that missed their consistent-hash home (outage failover
+    #: or load-aware spill).
+    rerouted: int = 0
+    #: Wall-clock seconds spent deciding, per shard.
+    decide_total_s: "list[float]" = field(default_factory=list)
+
+    # -------------------------- fleet totals -------------------------- #
+
+    def _sum(self, name: str) -> int:
+        return sum(getattr(s, name) for s in self.per_shard)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.per_shard)
+
+    @property
+    def arrived(self) -> int:
+        return self._sum("arrived")
+
+    @property
+    def matched(self) -> int:
+        return self._sum("matched")
+
+    @property
+    def completed(self) -> int:
+        return self._sum("completed")
+
+    @property
+    def failed(self) -> int:
+        return self._sum("failed")
+
+    @property
+    def shed(self) -> int:
+        return self._sum("shed")
+
+    @property
+    def requeued(self) -> int:
+        return self._sum("requeued")
+
+    @property
+    def unserved(self) -> int:
+        return self._sum("unserved")
+
+    @property
+    def windows(self) -> int:
+        return self._sum("windows")
+
+    @property
+    def swaps(self) -> int:
+        return self._sum("swaps")
+
+    @property
+    def conserved(self) -> bool:
+        """Every shard conserves, and so (by summation) does the fleet."""
+        return all(s.conserved for s in self.per_shard)
+
+    @property
+    def max_shard_decide_s(self) -> float:
+        """The fleet's critical path: the slowest shard's decide time."""
+        return max(self.decide_total_s, default=0.0)
+
+    @property
+    def sum_decide_s(self) -> float:
+        return float(sum(self.decide_total_s))
+
+    def throughput_tasks_per_s(self) -> float:
+        """Aggregate matches per wall second with shards in parallel.
+
+        Shards are simulated sequentially but share no state, so a real
+        deployment runs them as N parallel processes; the honest
+        aggregate rate divides total matches by the *slowest* shard's
+        decide time (``sum_decide_s`` is also reported for the
+        single-machine reading).
+        """
+        denom = self.max_shard_decide_s
+        return self.matched / denom if denom else 0.0
+
+    # ---------------------- determinism artifacts --------------------- #
+
+    def trace_bytes(self) -> bytes:
+        """Canonical fleet trace: per-shard traces joined in shard order.
+
+        Each shard's block is its dispatcher's own canonical trace
+        (simulated-time only); empty shards contribute nothing.  At
+        ``n_shards == 1`` this is byte-identical to the unsharded
+        :meth:`repro.serve.ServeStats.trace_bytes`.
+        """
+        blocks = [s.trace_bytes() for s in self.per_shard]
+        return b"\n".join(b for b in blocks if b)
+
+    def trace_sha256(self) -> str:
+        return hashlib.sha256(self.trace_bytes()).hexdigest()
+
+    def fleet_swaps(self) -> "list[dict]":
+        """The fleet-wide hot-swap sequence, verified consistent.
+
+        Every shard must have applied the *same* swaps — same window
+        (epoch), same version, same weights digest, same reason — or a
+        ``ValueError`` pinpoints the divergence.  Returns the common
+        sequence (one dict per fleet-wide swap).
+        """
+        if not self.per_shard:
+            return []
+        reference = self.per_shard[0].swap_events
+        for sid, stats in enumerate(self.per_shard[1:], start=1):
+            if stats.swap_events != reference:
+                raise ValueError(
+                    f"fleet swap divergence: shard 0 applied {reference}, "
+                    f"shard {sid} applied {stats.swap_events}")
+        return [dict(ev) for ev in reference]
+
+    def summary(self) -> str:
+        lat = np.concatenate(
+            [np.asarray(s.decide_seconds) for s in self.per_shard
+             if s.decide_seconds] or [np.zeros(1)])
+        return (
+            f"shards={self.n_shards} windows={self.windows} "
+            f"arrived={self.arrived} done={self.completed} "
+            f"failed={self.failed} shed={self.shed} "
+            f"requeued={self.requeued} unserved={self.unserved} "
+            f"rerouted={self.rerouted} "
+            f"p95_decide={float(np.percentile(lat, 95)) * 1e3:.1f}ms "
+            f"agg_throughput={self.throughput_tasks_per_s():.0f} tasks/s"
+        )
+
+
+class FleetController:
+    """Partition, route, and drive N per-shard dispatchers (module doc)."""
+
+    def __init__(self, config: FleetConfig, *, stack=None) -> None:
+        self.config = config
+        serve = config.serve
+        n = config.n_shards
+        if config.partition == "replicate":
+            self.stack = stack if stack is not None else build_stack(serve)
+            pool, clusters, method, spec, dcfg = self.stack
+            self.pool = pool
+            self.spec = spec
+            self.dcfg = dcfg
+            self.shard_clusters = [list(clusters) for _ in range(n)]
+            self.shard_methods = [method] * n  # copied per run when mutated
+        else:  # family
+            from repro.clusters import make_specialist_pool, shard_pool
+            from repro.methods import TSM, FitContext, MatchSpec
+            from repro.predictors.training import TrainConfig
+            from repro.workloads.taskpool import TaskPool
+
+            if stack is not None:
+                raise ValueError("prebuilt stacks only apply to partition="
+                                 "'replicate' (family shards train their own)")
+            self.pool = TaskPool(serve.pool_size, rng=serve.seed)
+            clusters = make_specialist_pool(config.pool_m)
+            self.shard_clusters = shard_pool(clusters, n)
+            train_tasks, _ = self.pool.split(0.6, rng=serve.seed + 1)
+            self.spec = MatchSpec(solver=serve.solver_config())
+            self.dcfg = serve.dispatcher_config()
+            # Each shard trains its own predictors for its own clusters,
+            # all on the same seed (the stacks differ by cluster set, not
+            # by RNG stream) — per the serve-seed convention.
+            self.shard_methods = []
+            for shard in self.shard_clusters:
+                ctx = FitContext.build(shard, train_tasks, self.spec,
+                                       rng=serve.seed + 2)
+                self.shard_methods.append(
+                    TSM(train_config=TrainConfig(epochs=serve.train_epochs))
+                    .fit(ctx))
+            self.stack = None
+        #: Per-shard stage profilers of the last :meth:`run` (populated
+        #: only when ``serve.profile`` is set).
+        self.last_profilers: "list" = []
+
+    # ------------------------------------------------------------------ #
+    # Routing.
+    # ------------------------------------------------------------------ #
+
+    def shard_outages(self, outages: "Sequence[Outage] | None",
+                      ) -> "list[list[Outage]]":
+        """Each outage delivered to every shard serving that cluster."""
+        per_shard: "list[list[Outage]]" = [[] for _ in range(self.config.n_shards)]
+        for o in outages or ():
+            for sid, clusters in enumerate(self.shard_clusters):
+                if any(c.cluster_id == o.cluster_id for c in clusters):
+                    per_shard[sid].append(o)
+        return per_shard
+
+    def route(self, events: "Sequence[tuple[float, Task]]",
+              outages: "Sequence[Outage] | None" = None):
+        """Split an arrival stream across shards.
+
+        Returns ``(per_shard_events, per_shard_routes, rerouted)`` where
+        ``per_shard_events`` are ``(hour, task)`` sub-streams in fleet
+        admission order and ``per_shard_routes`` the matching
+        ``(hour, task_id)`` record.  Deterministic: arrivals are
+        processed in ``(hour, task_id)`` order and the router sees only
+        simulated time, so the same stream always splits the same way.
+        """
+        cfg = self.config
+        router = make_router(cfg.routing, cfg.n_shards, replicas=cfg.replicas,
+                             window_hours=cfg.router_window_hours())
+        shard_down = [
+            full_down_intervals(per, len(self.shard_clusters[sid]))
+            for sid, per in enumerate(self.shard_outages(outages))
+        ]
+
+        def shard_up(sid: int, t: float) -> bool:
+            return not any(start <= t < end for start, end in shard_down[sid])
+
+        per_shard_events: "list[list[tuple[float, Task]]]" = [
+            [] for _ in range(cfg.n_shards)]
+        per_shard_routes: "list[list[tuple[float, int]]]" = [
+            [] for _ in range(cfg.n_shards)]
+        ordered = sorted(events, key=lambda e: (e[0], e[1].task_id))
+        for t, task in ordered:
+            up = {s for s in range(cfg.n_shards) if shard_up(s, t)}
+            sid = router.route(task.task_id, t, up)
+            per_shard_events[sid].append((t, task))
+            per_shard_routes[sid].append((t, task.task_id))
+        return per_shard_events, per_shard_routes, router.rerouted
+
+    # ------------------------------------------------------------------ #
+    # Running.
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        events: "Sequence[tuple[float, Task]]",
+        *,
+        outages: "Sequence[Outage] | None" = None,
+        swap_schedule: "dict[int, str] | None" = None,
+        registry=None,
+        callbacks_factory: "Callable[[int], list] | None" = None,
+        telemetry: str = "off",
+        out_dir: "str | os.PathLike[str] | None" = None,
+        run_prefix: str = "fleet-run",
+    ) -> FleetStats:
+        """Route the stream and drive every shard's dispatcher.
+
+        ``swap_schedule`` (window → registry version, with ``registry``)
+        applies the *same* schedule on every shard — the fleet-wide
+        hot-swap primitive; methods are deep-copied per shard so the
+        swap's ``load_into`` never leaks across shards or into the
+        shared base stack.  ``callbacks_factory(shard_id)`` builds each
+        shard's serve callbacks (fleet retraining attaches its
+        harvesters here).  ``telemetry`` != ``"off"`` wraps each shard
+        in its own recorder — run ``{run_prefix}-s{shard}``, base labels
+        from :meth:`ServeConfig.identity_labels`, meta carrying both the
+        per-shard serve params and the fleet params — so per-shard JSONL
+        logs are individually replayable and merge losslessly.
+        """
+        cfg = self.config
+        serve = cfg.serve
+        per_shard_events, per_shard_routes, rerouted = self.route(
+            events, outages)
+        per_shard_outages = self.shard_outages(outages)
+
+        per_shard: "list[ServeStats]" = []
+        decide_totals: "list[float]" = []
+        self.last_profilers = []
+        for sid in range(cfg.n_shards):
+            shard_cfg = cfg.shard_config(sid)
+            method = self.shard_methods[sid]
+            if swap_schedule:
+                # load_into mutates the method in place; every shard gets
+                # a private copy so pre-swap windows keep base weights
+                # and the shared stack stays reusable.
+                method = copy.deepcopy(method)
+            profiler = None
+            if serve.profile:
+                from repro.telemetry.profiler import StageProfiler
+
+                profiler = StageProfiler()
+            self.last_profilers.append(profiler)
+            dispatcher = Dispatcher(
+                self.shard_clusters[sid], method, self.spec, self.dcfg,
+                registry=registry,
+                swap_schedule=dict(swap_schedule) if swap_schedule else None,
+                callbacks=callbacks_factory(sid) if callbacks_factory else None,
+                profiler=profiler,
+            )
+            shard_events = per_shard_events[sid]
+            shard_outs = per_shard_outages[sid] or None
+            if telemetry != "off":
+                with recording(
+                    mode=telemetry,
+                    run=f"{run_prefix}-s{sid}",
+                    out_dir=out_dir,
+                    meta={"serve": shard_cfg.to_params(),
+                          "fleet": cfg.to_params()},
+                    labels=shard_cfg.identity_labels() or None,
+                ):
+                    stats = dispatcher.run(shard_events, rng=serve.seed + 4,
+                                           outages=shard_outs)
+            else:
+                stats = dispatcher.run(shard_events, rng=serve.seed + 4,
+                                       outages=shard_outs)
+            per_shard.append(stats)
+            decide_totals.append(float(sum(stats.decide_seconds)))
+        return FleetStats(per_shard=per_shard, routes=per_shard_routes,
+                          rerouted=rerouted, decide_total_s=decide_totals)
+
+    # ------------------------------------------------------------------ #
+    # Observability.
+    # ------------------------------------------------------------------ #
+
+    def write_flamegraph(self, path: "str | os.PathLike[str]") -> Path:
+        """Merged collapsed-stack profile, one ``shardN`` root per shard.
+
+        Requires the last run to have been profiled
+        (``serve.profile=True``); shard frames nest under ``shardN`` so
+        one flamegraph shows the whole fleet's latency budget.
+        """
+        lines: "list[str]" = []
+        for sid, prof in enumerate(self.last_profilers):
+            if prof is None:
+                continue
+            for line in prof.collapsed_stacks(root=f"shard{sid};window"):
+                lines.append(line)
+        if not lines:
+            raise ValueError("no profiled run to export — set "
+                             "serve.profile=True and call run() first")
+        out = Path(path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text("\n".join(lines) + "\n")
+        return out
+
+
+# --------------------------------------------------------------------- #
+# The sharding benchmark (repro fleet bench / bench_serve --shards).
+# --------------------------------------------------------------------- #
+
+
+def run_sharding_benchmark(
+    *,
+    shard_counts: "tuple[int, ...]" = (1, 2, 4, 8),
+    setting: str = "A",
+    pattern: str = "poisson",
+    rate_per_hour: float = 60.0,
+    horizon_hours: float = 12.0,
+    pool_size: int = 64,
+    max_batch: int = 16,
+    max_wait_hours: float = 0.25,
+    queue_capacity: int = 128,
+    train_epochs: int = 120,
+    solver_tol: float = 1e-4,
+    solver_max_iters: int = 400,
+    seed: int = 0,
+    routing: str = "hash",
+    partition: str = "replicate",
+    saturation: float = 4.0,
+    smoke: bool = False,
+    out_path: "str | os.PathLike[str] | None" = None,
+) -> dict:
+    """Capacity-vs-shard-count sweep at saturating offered load.
+
+    Two parts.  The **anchor** replays the exact warm serving soak
+    (same stack, same arrival draw, same dispatcher knobs) through a
+    1-shard fleet: its trace SHA must equal ``BENCH_serve.json``'s warm
+    mode, pinning the fleet layer as a strict extension of the single
+    dispatcher.  The **sweep** then measures what sharding buys:
+    sustained matching capacity.  At the soak's offered load a single
+    dispatcher is mostly idle — its timeout-fired windows go out
+    quarter-full every ``max_wait_hours`` — and splitting an
+    unsaturated queue N ways only trades batch efficiency for
+    parallelism, so the sweep offers ``saturation``x the soak rate
+    (default 4x).  That drives the 1-shard baseline *batch-bound*: the
+    dispatcher fires a window the moment ``max_batch`` tasks queue, so
+    it decides ~``arrivals / max_batch`` back-to-back full windows, and
+    each added shard divides that window count (per-shard batches stay
+    full until the per-shard rate falls back under the batch-fill
+    threshold) instead of diluting batch size.  Aggregate throughput
+    divides total matches by the slowest shard's decide time (shards of
+    a deployed fleet run in parallel); ``sum_decide_s`` is also
+    reported for the pessimistic one-machine reading.  ``smoke=True``
+    shrinks the workload with the same knobs as the serving soak's
+    smoke mode.
+    """
+    from repro.serve.config import ServeConfig
+    from repro.serve.loadgen import make_load
+    from repro.utils.rng import as_generator
+
+    if smoke:
+        rate_per_hour = min(rate_per_hour, 30.0)
+        horizon_hours = min(horizon_hours, 2.0)
+        pool_size = min(pool_size, 40)
+        train_epochs = min(train_epochs, 40)
+
+    base = FleetConfig(
+        n_shards=1, routing=routing, partition=partition,
+        serve=ServeConfig(
+            setting=setting, pool_size=pool_size, seed=seed,
+            train_epochs=train_epochs, solver_tol=solver_tol,
+            solver_max_iters=solver_max_iters, max_batch=max_batch,
+            max_wait_hours=max_wait_hours, queue_capacity=queue_capacity,
+        ),
+    )
+    stack = build_stack(base.serve) if partition == "replicate" else None
+    pool = stack[0] if stack is not None else None
+    if pool is None:
+        from repro.workloads.taskpool import TaskPool
+
+        pool = TaskPool(pool_size, rng=seed)
+
+    def measure(n: int, events) -> dict:
+        config = base.with_overrides(n_shards=n)
+        controller = FleetController(config, stack=stack)
+        wall0 = time.perf_counter()
+        stats = controller.run(events)
+        run_wall_s = time.perf_counter() - wall0
+        lat = np.concatenate(
+            [np.asarray(s.decide_seconds) for s in stats.per_shard
+             if s.decide_seconds] or [np.zeros(1)])
+        return {
+            "shards": n,
+            "run_wall_s": round(run_wall_s, 4),
+            "windows": stats.windows,
+            "arrived": stats.arrived,
+            "matched": stats.matched,
+            "completed": stats.completed,
+            "failed": stats.failed,
+            "shed": stats.shed,
+            "requeued": stats.requeued,
+            "unserved": stats.unserved,
+            "rerouted": stats.rerouted,
+            "conserved": stats.conserved,
+            # Per-shard matched identity: every dispatch is accounted as
+            # a completion, failure, or requeue — the sharded mirror of
+            # tests/test_serve.py's conservation checks.
+            "matched_identity": all(
+                s.matched == s.completed + s.failed + s.requeued
+                for s in stats.per_shard),
+            "per_shard_matched": [s.matched for s in stats.per_shard],
+            "per_shard_windows": [s.windows for s in stats.per_shard],
+            "max_shard_decide_s": round(stats.max_shard_decide_s, 4),
+            "sum_decide_s": round(stats.sum_decide_s, 4),
+            "throughput_tasks_per_s": round(stats.throughput_tasks_per_s(), 1),
+            "p95_decide_ms": round(float(np.percentile(lat, 95)) * 1e3, 3),
+            "trace_sha256": stats.trace_sha256(),
+        }
+
+    anchor_events = make_load(pattern, pool, rate_per_hour).draw(
+        horizon_hours, as_generator(seed + 3))
+    anchor = measure(1, anchor_events)
+    anchor["rate_per_hour"] = rate_per_hour
+
+    offered_rate = rate_per_hour * saturation
+    events = make_load(pattern, pool, offered_rate).draw(
+        horizon_hours, as_generator(seed + 3))
+    entries = [measure(n, events) for n in shard_counts]
+
+    by_shards = {e["shards"]: e for e in entries}
+    base_tp = by_shards.get(1, entries[0])["throughput_tasks_per_s"]
+    report = {
+        "benchmark": ("sharded serving: aggregate matching capacity vs "
+                      "shard count at saturating offered load "
+                      "(deterministic routing), plus a 1-shard trace "
+                      "anchor on the warm soak workload"),
+        "setting": setting,
+        "pattern": pattern,
+        "rate_per_hour": rate_per_hour,
+        "saturation": saturation,
+        "offered_rate_per_hour": offered_rate,
+        "horizon_hours": horizon_hours,
+        "pool_size": pool_size,
+        "max_batch": max_batch,
+        "max_wait_hours": max_wait_hours,
+        "train_epochs": train_epochs,
+        "seed": seed,
+        "routing": routing,
+        "partition": partition,
+        "arrivals": len(events),
+        "anchor": anchor,
+        "entries": entries,
+        "speedup_vs_1shard": {
+            str(e["shards"]): round(e["throughput_tasks_per_s"] / base_tp, 2)
+            if base_tp else None
+            for e in entries
+        },
+    }
+    if out_path is not None:
+        path = Path(out_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return report

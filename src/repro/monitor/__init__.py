@@ -28,7 +28,14 @@ protocol and never imports this package:
 from repro.monitor.attribution import RegretAttributor, WindowAttribution
 from repro.monitor.drift import Cusum, DriftBank, PageHinkley, QuantileWindow
 from repro.monitor.export import prometheus_text, sanitize_name
-from repro.monitor.live import MetricsServer, render_top, serve_snapshot, top
+from repro.monitor.live import (
+    MetricsServer,
+    merge_snapshots,
+    render_top,
+    serve_snapshot,
+    snapshot_from_logs,
+    top,
+)
 from repro.monitor.quality import DEFAULT_SLOS, Alert, MonitorConfig, QualityMonitor
 from repro.monitor.replay import ReplayStream, TraceReplay
 from repro.monitor.sinks import AlertSink, CallableSink, FileTailSink
@@ -57,6 +64,8 @@ __all__ = [
     "ReplayStream",
     "MetricsServer",
     "serve_snapshot",
+    "merge_snapshots",
+    "snapshot_from_logs",
     "render_top",
     "top",
 ]

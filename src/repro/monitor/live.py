@@ -39,8 +39,52 @@ from typing import Any, Callable, TextIO
 
 from repro.monitor.export import prometheus_text
 from repro.telemetry.metrics import quantile
+from repro.telemetry.registry import merge_aggregates
 
-__all__ = ["MetricsServer", "serve_snapshot", "render_top", "top"]
+__all__ = [
+    "MetricsServer",
+    "serve_snapshot",
+    "merge_snapshots",
+    "snapshot_from_logs",
+    "render_top",
+    "top",
+]
+
+
+def _fold_histograms(agg: dict, base: str) -> "dict | None":
+    """Fold every label set of histogram ``base`` into one state.
+
+    Shard-labeled recorders write e.g. ``serve/queue_depth{shard="0"}``;
+    a fleet-level quantile needs the bucket counts summed across shards
+    (same bounds by construction — all shards run the same recorder
+    config).  Returns ``None`` when no series matches.
+    """
+    states = [h for key, h in agg.get("histograms", {}).items()
+              if key.split("{", 1)[0] == base]
+    if not states:
+        return None
+    if len(states) == 1:
+        return states[0]
+    merged = merge_aggregates({"histograms": {base: h}} for h in states)
+    return merged["histograms"][base]
+
+
+def _status_from_aggregate(agg: dict) -> "dict[str, Any]":
+    """Queue-depth / seed-source status lines, from an aggregate alone."""
+    status: "dict[str, Any]" = {}
+    qd = _fold_histograms(agg, "serve/queue_depth")
+    if qd is not None:
+        status["queue_depth_p95"] = quantile(qd, 0.95)
+        status["windows_observed"] = qd.get("count", 0)
+    seed: "dict[str, float]" = {}
+    for key, state in agg.get("counters", {}).items():
+        base = key.split("{", 1)[0]
+        if base.startswith("serve/seed_"):
+            src = base.rsplit("_", 1)[-1]
+            seed[src] = seed.get(src, 0.0) + state.get("value", 0.0)
+    if seed:
+        status["seed_sources"] = seed
+    return status
 
 
 def serve_snapshot(recorder=None, *, profiler=None, monitor=None,
@@ -59,23 +103,7 @@ def serve_snapshot(recorder=None, *, profiler=None, monitor=None,
     snap["aggregate"] = agg
     if profiler is not None and getattr(profiler, "enabled", False):
         snap["profile"] = profiler.budget()
-    status: "dict[str, Any]" = {}
-    # Series keys may carry a label suffix (shard-labeled recorders write
-    # e.g. serve/queue_depth{shard="0"}) — match on the base name.
-    qd = next(
-        (h for key, h in agg.get("histograms", {}).items()
-         if key.split("{", 1)[0] == "serve/queue_depth"), None)
-    if qd is not None:
-        status["queue_depth_p95"] = quantile(qd, 0.95)
-        status["windows_observed"] = qd.get("count", 0)
-    seed: "dict[str, float]" = {}
-    for key, state in agg.get("counters", {}).items():
-        base = key.split("{", 1)[0]
-        if base.startswith("serve/seed_"):
-            src = base.rsplit("_", 1)[-1]
-            seed[src] = seed.get(src, 0.0) + state.get("value", 0.0)
-    if seed:
-        status["seed_sources"] = seed
+    status = _status_from_aggregate(agg)
     if monitor is not None:
         try:
             status["slo"] = monitor.slo.state()
@@ -86,6 +114,121 @@ def serve_snapshot(recorder=None, *, profiler=None, monitor=None,
     if extra:
         snap.update(extra)
     return snap
+
+
+def _merge_profiles(profiles: "list[dict]") -> dict:
+    """Fold per-shard stage budgets into one fleet budget.
+
+    Totals and call counts are exact sums; per-stage p95 takes the worst
+    shard (conservative — a fleet's tail is at least its worst shard's)
+    and coverage the weakest shard's.  Sim-time stages merge the same
+    way.
+    """
+    def fold(dicts: "list[dict]") -> dict:
+        out: "dict[str, Any]" = {"total_s": 0.0, "calls": 0, "p95": 0.0}
+        for s in dicts:
+            out["total_s"] += s.get("total_s", 0.0)
+            out["calls"] += s.get("calls", 0)
+            out["p95"] = max(out["p95"], s.get("p95", 0.0))
+        return out
+
+    merged: "dict[str, Any]" = {
+        "windows": sum(p.get("windows", 0) for p in profiles),
+        "e2e": fold([p.get("e2e", {}) for p in profiles]),
+        "unattributed": fold([p.get("unattributed", {}) for p in profiles]),
+        "coverage_p95": min((p.get("coverage_p95", 0.0) for p in profiles),
+                            default=0.0),
+    }
+    stage_keys: "list[str]" = []
+    for p in profiles:
+        for path in p.get("stages", {}):
+            if path not in stage_keys:
+                stage_keys.append(path)
+    merged["stages"] = {
+        path: fold([p["stages"][path] for p in profiles
+                    if path in p.get("stages", {})])
+        for path in stage_keys
+    }
+    sim_keys: "list[str]" = []
+    for p in profiles:
+        for name in p.get("sim_stages", {}):
+            if name not in sim_keys:
+                sim_keys.append(name)
+    if sim_keys:
+        merged["sim_stages"] = {}
+        for name in sim_keys:
+            entries = [p["sim_stages"][name] for p in profiles
+                       if name in p.get("sim_stages", {})]
+            merged["sim_stages"][name] = {
+                "p50": max(e.get("p50", 0.0) for e in entries),
+                "p95": max(e.get("p95", 0.0) for e in entries),
+                "calls": sum(e.get("calls", 0) for e in entries),
+            }
+    return merged
+
+
+def merge_snapshots(snaps: "list[dict]") -> dict:
+    """Fold N per-shard ``/snapshot`` payloads into one fleet snapshot.
+
+    The aggregates merge losslessly (shard-labeled series stay distinct,
+    see :func:`repro.telemetry.merge_aggregates`), the fleet status is
+    recomputed from the *merged* aggregate (queue-depth p95 over the
+    summed bucket counts, seed sources summed), SLO rule states
+    concatenate and alert counts sum, and stage budgets fold per
+    :func:`_merge_profiles`.  The result renders through the same
+    :func:`render_top` as a single-shard snapshot — that is the whole
+    point: ``repro serve top url0 url1 ...`` is the fleet dashboard.
+    """
+    if not snaps:
+        raise ValueError("no snapshots to merge")
+    if len(snaps) == 1:
+        return dict(snaps[0])
+    agg = merge_aggregates([s.get("aggregate", {}) for s in snaps])
+    merged: "dict[str, Any]" = {
+        "time": max((s.get("time", 0.0) for s in snaps), default=0.0),
+        "aggregate": agg,
+        "merged_from": len(snaps),
+    }
+    profiles = [s["profile"] for s in snaps if s.get("profile")]
+    if profiles:
+        merged["profile"] = _merge_profiles(profiles)
+    status = _status_from_aggregate(agg)
+    if any("alerts" in s.get("status", {}) for s in snaps):
+        status["alerts"] = sum(s.get("status", {}).get("alerts", 0)
+                               for s in snaps)
+    slo = [rule for s in snaps for rule in s.get("status", {}).get("slo", [])]
+    if slo:
+        status["slo"] = slo
+    merged["status"] = status
+    runs = [str(s["run"]) for s in snaps if s.get("run")]
+    if runs:
+        merged["run"] = " + ".join(runs)
+    return merged
+
+
+def snapshot_from_logs(paths) -> dict:
+    """A fleet snapshot from JSONL run logs instead of live endpoints.
+
+    The offline twin of merging ``/snapshot`` scrapes: per-shard logs of
+    a finished (or crashed) fleet run rebuild the same dashboard payload
+    ``repro serve top --log`` renders.  Lossless by the same argument —
+    shard-labeled series merge by full series key.
+    """
+    from pathlib import Path
+
+    from repro.telemetry.registry import aggregate_runs
+
+    paths = list(paths)
+    if not paths:
+        raise ValueError("no run logs given")
+    agg = aggregate_runs(paths)
+    return {
+        "time": time.time(),
+        "aggregate": agg,
+        "status": _status_from_aggregate(agg),
+        "run": " + ".join(Path(p).stem for p in paths),
+        "merged_from": len(paths),
+    }
 
 
 def _scrape_aggregate(snap: dict) -> dict:
@@ -249,6 +392,41 @@ def render_top(snap: dict, *, width: int = 78) -> str:
         lines.append(f"queue depth p95: {status['queue_depth_p95']:.0f}  "
                      f"(over {status.get('windows_observed', 0)} windows)")
 
+    # Fleet view: when series carry shard labels, break the totals down
+    # per shard (sorted numerically where possible).
+    shards: "dict[str, dict[str, float]]" = {}
+    for key, state in counters.items():
+        shard = state.get("labels", {}).get("shard")
+        if shard is None:
+            continue
+        base = key.split("{", 1)[0]
+        if base in ("serve/windows", "serve/arrived", "serve/completed",
+                    "serve/failed", "serve/shed", "serve/requeued"):
+            row = shards.setdefault(str(shard), {})
+            row[base] = row.get(base, 0.0) + state.get("value", 0.0)
+    if shards:
+        lines.append("")
+        lines.append(f"shards ({len(shards)}):")
+        lines.append("  shard   windows  arrived  completed  failed  "
+                     "shed  requeued  qd_p95")
+        for shard in sorted(shards, key=lambda s: (not s.isdigit(),
+                                                   int(s) if s.isdigit() else 0,
+                                                   s)):
+            row = shards[shard]
+            qd = next(
+                (h for key, h in agg.get("histograms", {}).items()
+                 if key.split("{", 1)[0] == "serve/queue_depth"
+                 and h.get("labels", {}).get("shard") == shard), None)
+            qd_p95 = f"{quantile(qd, 0.95):.0f}" if qd is not None else "-"
+            lines.append(
+                f"  {shard:<7} {row.get('serve/windows', 0):>7.0f} "
+                f"{row.get('serve/arrived', 0):>8.0f} "
+                f"{row.get('serve/completed', 0):>10.0f} "
+                f"{row.get('serve/failed', 0):>7.0f} "
+                f"{row.get('serve/shed', 0):>5.0f} "
+                f"{row.get('serve/requeued', 0):>9.0f} "
+                f"{qd_p95:>7}")
+
     seed = status.get("seed_sources")
     if seed:
         total = sum(seed.values()) or 1.0
@@ -306,14 +484,19 @@ def fetch_snapshot(url: str, timeout: float = 5.0) -> dict:
         return json.loads(resp.read().decode())
 
 
-def top(url: str, *, interval: float = 2.0, iterations: "int | None" = None,
+def top(url: "str | list[str]", *, interval: float = 2.0,
+        iterations: "int | None" = None,
         stream: "TextIO | None" = None) -> int:
-    """Refresh loop: fetch ``/snapshot``, clear, redraw.
+    """Refresh loop: fetch ``/snapshot``(s), merge, clear, redraw.
 
+    ``url`` may be one endpoint or a list — several endpoints are the
+    fleet view: each refresh scrapes all of them and renders the
+    :func:`merge_snapshots` fold (per-shard breakdown included).
     ``iterations=None`` runs until interrupted (Ctrl-C exits cleanly);
     ``iterations=1`` is the scriptable ``--once`` mode.  Returns a shell
     exit code.
     """
+    urls = [url] if isinstance(url, str) else list(url)
     out = stream or sys.stdout
     clear = "\x1b[2J\x1b[H" if out.isatty() else ""
     n = 0
@@ -322,9 +505,10 @@ def top(url: str, *, interval: float = 2.0, iterations: "int | None" = None,
             if n:
                 time.sleep(interval)
             try:
-                snap = fetch_snapshot(url)
+                snap = merge_snapshots([fetch_snapshot(u) for u in urls])
             except OSError as exc:
-                print(f"serve top: cannot reach {url}: {exc}", file=out)
+                targets = urls[0] if len(urls) == 1 else ", ".join(urls)
+                print(f"serve top: cannot reach {targets}: {exc}", file=out)
                 return 1
             print(f"{clear}{render_top(snap)}", file=out, flush=True)
             n += 1

@@ -87,6 +87,14 @@ class ServeConfig:
     retrain: "RetrainConfig | None" = None
     #: Checkpoint registry directory; required when ``retrain`` is set.
     registry_root: "str | None" = None
+    #: Fleet identity: which shard of a sharded deployment this run is
+    #: (``repro.fleet`` stamps it per shard; ``serve run --shard`` sets it
+    #: for hand-rolled fleets) and an optional instance name.  Pure
+    #: labels — they never change the stack or the trace, but they ride
+    #: ``meta["serve"]`` into run logs and replay, and become the
+    #: recorder's base labels via :meth:`identity_labels`.
+    shard: "str | None" = None
+    instance: "str | None" = None
 
     def __post_init__(self) -> None:
         for name in ("pool_size", "train_epochs", "solver_max_iters",
@@ -107,6 +115,10 @@ class ServeConfig:
         if self.solve_mode not in _SOLVE_MODES:
             raise ValueError(
                 f"solve_mode must be one of {_SOLVE_MODES}, got {self.solve_mode!r}")
+        for name in ("shard", "instance"):  # label values; normalize to str
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, str):
+                object.__setattr__(self, name, str(value))
 
     # ------------------------------------------------------------------ #
     # JSON round-trip (meta["serve"] in run logs; CLI flag plumbing).
@@ -131,6 +143,8 @@ class ServeConfig:
             "monitor": asdict(self.monitor) if self.monitor is not None else None,
             "retrain": self.retrain.to_params() if self.retrain is not None else None,
             "registry_root": self.registry_root,
+            "shard": self.shard,
+            "instance": self.instance,
         }
         return params
 
@@ -171,11 +185,26 @@ class ServeConfig:
             monitor=monitor,
             retrain=retrain,
             registry_root=params.get("registry_root"),
+            shard=params.get("shard"),
+            instance=params.get("instance"),
         )
 
     def with_overrides(self, **changes: Any) -> "ServeConfig":
         """A copy with the given fields replaced (frozen-friendly)."""
         return replace(self, **changes)
+
+    def identity_labels(self) -> "dict[str, str]":
+        """Base labels for the run's recorder (``shard``/``instance``).
+
+        Empty dict when neither is set, so ``identity_labels() or None``
+        is the value to hand :func:`repro.telemetry.recording`.
+        """
+        labels: "dict[str, str]" = {}
+        if self.shard is not None:
+            labels["shard"] = self.shard
+        if self.instance is not None:
+            labels["instance"] = self.instance
+        return labels
 
     # ------------------------------------------------------------------ #
     # Derived configs (the serve-seed convention in one place).
