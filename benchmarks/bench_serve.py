@@ -4,9 +4,11 @@ Two suites, both recorded in ``BENCH_serve.json`` at the repo root (same
 convention as ``bench_micro.py`` → ``BENCH_train_round.json``):
 
 - **soak** (:func:`repro.serve.run_serve_benchmark`): replays one arrival
-  stream through the micro-batching dispatcher four times — warm-start
-  cache off, on, on with the quality monitor attached, and on with the
-  stage profiler attached — and reports sustained matching throughput,
+  stream through the micro-batching dispatcher five times — warm-start
+  cache off, on, on with the quality monitor attached, on with the
+  stage profiler attached, and on with full per-task journey tracing
+  (causality-audited, trace-identity gated) — and reports sustained
+  matching throughput,
   p50/p95/p99 assignment latency, the warm/cold mean-solver-iteration
   ratio, and the profiled run's latency budget, all read back through the
   telemetry the dispatcher records in production.  The monitored pass
@@ -56,7 +58,7 @@ def test_serve_bench_smoke(tmp_path):
                                  flamegraph_path=flame)
     assert out.exists()
     assert json.loads(out.read_text()) == report
-    for mode in ("cold", "warm", "monitored", "profiled"):
+    for mode in ("cold", "warm", "monitored", "profiled", "journeys"):
         m = report[mode]
         assert m["windows"] > 0
         assert m["solve_iterations_mean"] > 0
@@ -87,6 +89,22 @@ def test_serve_bench_smoke(tmp_path):
     assert lines and all(
         ln.rsplit(" ", 1)[1].isdigit() and ln.startswith("window") for ln in lines
     )
+    # Journey-tracing contract: tracing every task is still a pure
+    # observer (identical dispatch trace), the causality audit passes
+    # (valid transitions, monotone timestamps, exact conservation
+    # against the run counters at sample=1.0), exemplars exist, and the
+    # hook overhead bounds hold (< 2% off / < 5% on).
+    j = report["journeys"]
+    assert j["trace_sha256"] == report["warm"]["trace_sha256"]
+    assert j["audit_pass"], j["audit_problems"]
+    # Every task's journey is kept at sample=1.0, so the emitted count
+    # covers at least every serviced-or-shed task (requeues fold into
+    # one journey; unserved tasks are audited by audit_pass above).
+    assert j["journeys_emitted"] >= j["completed"] + j["failed"] + j["shed"]
+    assert j["exemplar_buckets"] > 0
+    assert j["overhead"]["hook_calls"] > 0
+    assert j["overhead"]["off_frac_bound"] < 0.02
+    assert j["overhead"]["on_frac_bound"] < 0.05
 
 
 def test_scaling_bench_smoke(tmp_path):
@@ -218,6 +236,17 @@ def main(argv: "list[str] | None" = None) -> None:
         f"overhead bounds: off {prof['overhead']['off_frac_bound']} / "
         f"on {prof['overhead']['on_frac_bound']}"
     )
+    j = report["journeys"]
+    print(
+        f"journeys: {j['journeys_emitted']} emitted, audit "
+        f"{'PASS' if j['audit_pass'] else 'FAIL'}, trace == warm: "
+        f"{j['trace_sha256'] == report['warm']['trace_sha256']}, "
+        f"overhead bounds: off {j['overhead']['off_frac_bound']} / "
+        f"on {j['overhead']['on_frac_bound']}"
+    )
+    assert j["audit_pass"], j["audit_problems"]
+    assert j["trace_sha256"] == report["warm"]["trace_sha256"], (
+        "journey tracing perturbed the dispatch trace")
     for entry in report["scaling"]["entries"]:
         print(
             f"scaling {entry['tasks']}x{entry['clusters']}: "

@@ -10,8 +10,13 @@ Commands
     Print the archetype catalog and the A/B/C settings.
 ``pool``
     Sample a task pool and print workload statistics.
-``trace``
+``trace export``
     Export a measurement trace (JSON) for a setting and pool.
+``trace show / trace top / trace grep``
+    Query per-task journeys from JSONL run logs recorded with
+    ``--journeys``: render one task's waterfall across the fleet, list
+    the slowest journeys by queue wait, or filter journeys by state
+    (``shed``, ``requeued``, ...) or ``failover`` routing.
 ``demo``
     Run the quickstart end-to-end comparison.
 ``serve run``
@@ -97,11 +102,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_pool.add_argument("--size", type=int, default=20)
     p_pool.add_argument("--seed", type=int, default=0)
 
-    p_trace = sub.add_parser("trace", help="export a measurement trace (JSON)")
-    p_trace.add_argument("output", help="path of the trace file to write")
-    p_trace.add_argument("--setting", choices=["A", "B", "C"], default="A")
-    p_trace.add_argument("--tasks", type=int, default=24)
-    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace = sub.add_parser(
+        "trace", help="measurement-trace export and task journey queries")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_texport = trace_sub.add_parser(
+        "export", help="export a measurement trace (JSON)")
+    p_texport.add_argument("output", help="path of the trace file to write")
+    p_texport.add_argument("--setting", choices=["A", "B", "C"], default="A")
+    p_texport.add_argument("--tasks", type=int, default=24)
+    p_texport.add_argument("--seed", type=int, default=0)
+    trace_logs = argparse.ArgumentParser(add_help=False)
+    trace_logs.add_argument("--log", required=True, action="append",
+                            metavar="PATH",
+                            help="JSONL run log with journeys (repeat per "
+                                 "shard for the stitched fleet view)")
+    p_tshow = trace_sub.add_parser(
+        "show", parents=[trace_logs],
+        help="waterfall of one task's journey across the fleet")
+    p_tshow.add_argument("task", metavar="TASK",
+                         help="task id, or a (prefix of a) 16-hex trace id")
+    p_ttop = trace_sub.add_parser(
+        "top", parents=[trace_logs],
+        help="slowest journeys by queue wait")
+    p_ttop.add_argument("--slowest", type=int, default=10, metavar="K",
+                        help="how many journeys to list")
+    p_tgrep = trace_sub.add_parser(
+        "grep", parents=[trace_logs],
+        help="journeys passing through a state (or a failover route)")
+    p_tgrep.add_argument("--state", required=True,
+                         help="journey state (shed, requeued, unserved, "
+                              "harvested, ...) or 'failover' for tasks "
+                              "routed off their home shard")
 
     sub.add_parser("demo", help="run the quickstart comparison")
 
@@ -183,6 +214,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--instance", default=None, metavar="NAME",
                        help="label every recorded series with instance=NAME "
                             "(distinguishes replicas of one shard)")
+    p_run.add_argument("--journeys", type=float, default=0.0,
+                       metavar="FRACTION",
+                       help="per-task journey tracing: keep this fraction of "
+                            "uneventful journeys (shed/requeued/long-wait "
+                            "tasks are always kept; query with 'repro trace "
+                            "show/top/grep')")
 
     p_top = serve_sub.add_parser(
         "top", help="terminal dashboard against one or more /snapshot "
@@ -243,6 +280,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_frun.add_argument("--flamegraph", default=None, metavar="PATH",
                         help="write the merged fleet collapsed-stack "
                              "profile here (implies --profile)")
+    p_frun.add_argument("--journeys", type=float, default=0.0,
+                        metavar="FRACTION",
+                        help="per-task journey tracing across the fleet "
+                             "(routing decision included; stitch with "
+                             "'repro trace show --log s0 --log s1 ...')")
 
     p_fbench = fleet_sub.add_parser(
         "bench", parents=[common],
@@ -373,13 +415,98 @@ def _cmd_pool(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from repro.clusters import make_setting
-    from repro.workloads import TaskPool, export_trace
+    if args.trace_command == "export":
+        from repro.clusters import make_setting
+        from repro.workloads import TaskPool, export_trace
 
-    pool = TaskPool(args.tasks, rng=args.seed)
-    clusters = make_setting(args.setting)
-    trace = export_trace(clusters, pool.tasks, args.output, rng=args.seed)
-    print(f"wrote {args.output}: {trace.n_tasks} tasks x {trace.n_clusters} clusters")
+        pool = TaskPool(args.tasks, rng=args.seed)
+        clusters = make_setting(args.setting)
+        trace = export_trace(clusters, pool.tasks, args.output, rng=args.seed)
+        print(f"wrote {args.output}: {trace.n_tasks} tasks x "
+              f"{trace.n_clusters} clusters")
+        return 0
+    journeys = _journeys_from_logs(args.log)
+    if not journeys:
+        print("no journeys in the given log(s) — was the run started with "
+              "--journeys (journey_sample > 0)?", file=sys.stderr)
+        return 2
+    if args.trace_command == "show":
+        return _trace_show(args.task, journeys)
+    if args.trace_command == "top":
+        return _trace_top(args.slowest, journeys)
+    return _trace_grep(args.state, journeys)
+
+
+def _journeys_from_logs(paths) -> "dict[str, list[dict]]":
+    """All journeys across the given logs, shard-stamped and stitched."""
+    from repro.telemetry.journey import stitch_journeys
+
+    return stitch_journeys(paths)
+
+
+def _journey_wait(events: "list[dict]") -> float:
+    return max((e.get("wait_hours", 0.0) for e in events
+                if e["state"] == "dispatched"), default=0.0)
+
+
+def _journey_line(trace: str, events: "list[dict]") -> str:
+    first, last = events[0], events[-1]
+    shards = sorted({str(e["shard"]) for e in events
+                     if e.get("shard") is not None})
+    states = "->".join(e["state"] for e in events)
+    return (f"{trace}  task {first['task_id']:>5}  "
+            f"arrival {first['arrival']:>8.3f}h  "
+            f"wait {_journey_wait(events):6.3f}h  "
+            f"shard {','.join(shards) or '-':<4} {last['state']:<9} {states}")
+
+
+def _trace_show(needle: str, journeys: "dict[str, list[dict]]") -> int:
+    from repro.telemetry.journey import render_waterfall
+
+    if needle.isdigit():
+        tid = int(needle)
+        matches = {t: evs for t, evs in journeys.items()
+                   if any(e["task_id"] == tid for e in evs)}
+    else:
+        matches = {t: evs for t, evs in journeys.items()
+                   if t.startswith(needle.lower())}
+    if not matches:
+        print(f"no journey matches {needle!r}", file=sys.stderr)
+        return 1
+    for i, trace in enumerate(sorted(matches)):
+        if i:
+            print()
+        print(render_waterfall(trace, matches[trace]))
+    return 0
+
+
+def _trace_top(k: int, journeys: "dict[str, list[dict]]") -> int:
+    ranked = sorted(journeys.items(),
+                    key=lambda kv: (-_journey_wait(kv[1]), kv[0]))
+    print(f"slowest {min(k, len(ranked))} of {len(ranked)} journeys "
+          "by queue wait:")
+    for trace, events in ranked[:k]:
+        print(f"  {_journey_line(trace, events)}")
+    return 0
+
+
+def _trace_grep(state: str, journeys: "dict[str, list[dict]]") -> int:
+    from repro.telemetry.journey import STATES
+
+    if state == "failover":
+        hits = {t: evs for t, evs in journeys.items()
+                if any(e["state"] == "routed"
+                       and e.get("reason") == "failover" for e in evs)}
+    elif state in STATES:
+        hits = {t: evs for t, evs in journeys.items()
+                if any(e["state"] == state for e in evs)}
+    else:
+        print(f"unknown state {state!r}; one of "
+              f"{', '.join(sorted(STATES))} or failover", file=sys.stderr)
+        return 2
+    print(f"{len(hits)} of {len(journeys)} journeys hit '{state}':")
+    for trace in sorted(hits):
+        print(f"  {_journey_line(trace, hits[trace])}")
     return 0
 
 
@@ -498,6 +625,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         registry_root=args.registry if args.retrain else None,
         shard=args.shard,
         instance=args.instance,
+        journey_sample=args.journeys,
     )
     print(f"training TSM predictors ({args.train_epochs} epochs) ...")
     platform = build_platform(config)
@@ -531,6 +659,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         rec,
                         profiler=platform.profiler,
                         monitor=platform.monitor,
+                        journeys=platform.dispatcher.journeys,
                         extra={"run": run_name},
                     ),
                     port=args.metrics_port,
@@ -698,6 +827,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 max_wait_hours=args.max_wait,
                 queue_capacity=args.queue_capacity,
                 profile=args.profile or args.flamegraph is not None,
+                journey_sample=args.journeys,
             ),
         )
     except ValueError as exc:

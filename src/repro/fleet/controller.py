@@ -197,10 +197,14 @@ class FleetController:
         n = config.n_shards
         if config.partition == "replicate":
             self.stack = stack if stack is not None else build_stack(serve)
-            pool, clusters, method, spec, dcfg = self.stack
+            pool, clusters, method, spec, _ = self.stack
             self.pool = pool
             self.spec = spec
-            self.dcfg = dcfg
+            # Always derive the dispatcher config from ``serve``, not the
+            # (possibly differently-configured) prebuilt stack: the shard
+            # logs record ``serve``'s params as replay truth, so the run
+            # must follow them (journey_sample in particular).
+            self.dcfg = serve.dispatcher_config()
             self.shard_clusters = [list(clusters) for _ in range(n)]
             self.shard_methods = [method] * n  # copied per run when mutated
         else:  # family
@@ -232,6 +236,11 @@ class FleetController:
         #: Per-shard stage profilers of the last :meth:`run` (populated
         #: only when ``serve.profile`` is set).
         self.last_profilers: "list" = []
+        #: Per-shard ``routed`` journey preambles of the last
+        #: :meth:`route` call (``serve.journey_sample > 0`` feeds them to
+        #: each shard's dispatcher so fleet journeys open with the
+        #: routing decision).
+        self.last_route_journeys: "list[list[dict]]" = []
 
     # ------------------------------------------------------------------ #
     # Routing.
@@ -273,12 +282,29 @@ class FleetController:
             [] for _ in range(cfg.n_shards)]
         per_shard_routes: "list[list[tuple[float, int]]]" = [
             [] for _ in range(cfg.n_shards)]
+        route_journeys: "list[list[dict]]" = [[] for _ in range(cfg.n_shards)]
         ordered = sorted(events, key=lambda e: (e[0], e[1].task_id))
         for t, task in ordered:
             up = {s for s in range(cfg.n_shards) if shard_up(s, t)}
             sid = router.route(task.task_id, t, up)
             per_shard_events[sid].append((t, task))
             per_shard_routes[sid].append((t, task.task_id))
+            # Journey preamble for the chosen shard's dispatcher: the
+            # ring home and why this shard got the task (home pick, ring
+            # failover past a down shard, or load-aware override).
+            home = router.ring.owner(str(task.task_id))
+            if sid == home:
+                reason = "home"
+            elif home not in up:
+                reason = "failover"
+            else:
+                reason = "load"
+            route_journeys[sid].append({
+                "task_id": int(task.task_id), "t": float(t),
+                "home": int(home), "shard": sid, "reason": reason,
+                "policy": cfg.routing,
+            })
+        self.last_route_journeys = route_journeys
         return per_shard_events, per_shard_routes, router.rerouted
 
     # ------------------------------------------------------------------ #
@@ -341,6 +367,15 @@ class FleetController:
                 callbacks=callbacks_factory(sid) if callbacks_factory else None,
                 profiler=profiler,
             )
+            if dispatcher.journeys is not None:
+                # Open every journey with its routing decision, in fleet
+                # admission order, so the shard's log carries the full
+                # causal path (routed -> admitted -> ... -> terminal).
+                for m in self.last_route_journeys[sid]:
+                    dispatcher.journeys.record(
+                        m["task_id"], m["t"], "routed", m["t"],
+                        home=m["home"], shard=m["shard"],
+                        reason=m["reason"], policy=m["policy"])
             shard_events = per_shard_events[sid]
             shard_outs = per_shard_outages[sid] or None
             if telemetry != "off":

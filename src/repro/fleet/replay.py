@@ -64,6 +64,7 @@ def _load_shard(path: "str | Path") -> "tuple[dict, TraceReplay]":
     outages: "list[Outage]" = []
     run_stats = None
     swaps = []
+    journey_events: "list[dict]" = []
     for ev in events:
         if ev.get("type") != "event":
             continue
@@ -78,8 +79,11 @@ def _load_shard(path: "str | Path") -> "tuple[dict, TraceReplay]":
             run_stats = {k: ev[k] for k in RUN_STAT_FIELDS if k in ev}
         elif name == "serve/hot_swap":
             swaps.append(ev)
+        elif name == "journey":
+            journey_events.append(ev)
     replay = TraceReplay(serve, arrivals, outages, run_stats, meta)
     replay._swaps = swaps
+    replay._journey_events = journey_events
     return fleet, replay
 
 
@@ -148,6 +152,37 @@ class FleetReplay:
                     merged.append(o)
         merged.sort(key=lambda o: (o.start, o.cluster_id, o.end))
         return merged
+
+    def stitched_journeys(self) -> "dict[str, list[dict]]":
+        """All task journeys reassembled across the shard logs.
+
+        Events are stamped with the emitting shard; each journey must
+        live in exactly one shard's log (:meth:`verify` flags traces
+        the routing layer double-delivered).
+        """
+        merged: "dict[str, list[dict]]" = {}
+        for sid in sorted(self.shards):
+            replay = self.shards[sid]
+            from repro.telemetry.journey import journeys_from_events
+
+            for trace, evs in journeys_from_events(
+                    replay._journey_events, shard=str(sid)).items():
+                merged.setdefault(trace, []).extend(evs)
+        return merged
+
+    def audit_journeys(self) -> "list[str]":
+        """Fleet-level causality audit over the stitched journeys.
+
+        Per-shard conservation runs inside each shard's
+        :meth:`TraceReplay.audit_journeys` (invoked from
+        :meth:`verify`); this pass checks the cross-shard layer: every
+        journey reassembles losslessly from exactly one shard log, and
+        the stitched set passes the state-machine and monotonicity
+        checks with the shard stamps attached.
+        """
+        from repro.telemetry.journey import audit_journeys
+
+        return audit_journeys(self.stitched_journeys(), expect=None)
 
     def fleet_swaps(self) -> "list[dict]":
         """The common logged swap sequence, verified shard-consistent."""
@@ -228,4 +263,6 @@ class FleetReplay:
                     f"{len(self.shards[sid].arrivals)} (or different tasks)")
         if not stats.conserved:
             problems.append("fleet conservation identity violated in replay")
+        if any(replay._journey_events for replay in self.shards.values()):
+            problems.extend(self.audit_journeys())
         return problems

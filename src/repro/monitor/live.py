@@ -88,13 +88,15 @@ def _status_from_aggregate(agg: dict) -> "dict[str, Any]":
 
 
 def serve_snapshot(recorder=None, *, profiler=None, monitor=None,
-                   extra: "dict | None" = None) -> dict:
+                   journeys=None, extra: "dict | None" = None) -> dict:
     """One consistent status snapshot of a (possibly mid-flight) run.
 
     Keys: ``aggregate`` (canonical telemetry aggregate), ``profile``
     (stage budget, when a profiler is attached), ``status`` (queue
-    depth / seed sources / SLO burn rates / alert count) and anything in
-    ``extra`` (run identity, config hints).
+    depth / seed sources / SLO burn rates / alert count), ``journeys``
+    (wait-histogram exemplar payload, when a
+    :class:`~repro.telemetry.journey.JourneyRecorder` is attached) and
+    anything in ``extra`` (run identity, config hints).
     """
     snap: "dict[str, Any]" = {"time": time.time()}
     agg: "dict[str, Any]" = {}
@@ -103,6 +105,8 @@ def serve_snapshot(recorder=None, *, profiler=None, monitor=None,
     snap["aggregate"] = agg
     if profiler is not None and getattr(profiler, "enabled", False):
         snap["profile"] = profiler.budget()
+    if journeys is not None:
+        snap["journeys"] = journeys.exemplar_payload()
     status = _status_from_aggregate(agg)
     if monitor is not None:
         try:
@@ -200,6 +204,15 @@ def merge_snapshots(snaps: "list[dict]") -> dict:
     if slo:
         status["slo"] = slo
     merged["status"] = status
+    journeys = [s["journeys"] for s in snaps if s.get("journeys")]
+    if journeys:
+        from repro.telemetry.journey import merge_exemplar_payloads
+
+        merged["journeys"] = merge_exemplar_payloads(journeys)
+    shards_seen = sorted({sid for s in snaps
+                          for sid in s.get("shards_seen", [])})
+    if shards_seen:
+        merged["shards_seen"] = shards_seen
     runs = [str(s["run"]) for s in snaps if s.get("run")]
     if runs:
         merged["run"] = " + ".join(runs)
@@ -212,23 +225,50 @@ def snapshot_from_logs(paths) -> dict:
     The offline twin of merging ``/snapshot`` scrapes: per-shard logs of
     a finished (or crashed) fleet run rebuild the same dashboard payload
     ``repro serve top --log`` renders.  Lossless by the same argument —
-    shard-labeled series merge by full series key.
+    shard-labeled series merge by full series key.  Each log is read
+    once; beyond the metric aggregate this also folds any
+    ``journey_exemplars`` events into one fleet exemplar payload and
+    collects shard identities from the meta headers, so a truncated log
+    whose metric lines were lost (the recorder writes them *last*) still
+    contributes its shard to the dashboard's per-shard table.
     """
     from pathlib import Path
 
-    from repro.telemetry.registry import aggregate_runs
+    from repro.telemetry.journey import EXEMPLAR_EVENT, merge_exemplar_payloads
+    from repro.telemetry.jsonl import aggregate_events, load_run, meta_of
 
     paths = list(paths)
     if not paths:
         raise ValueError("no run logs given")
-    agg = aggregate_runs(paths)
-    return {
+    aggs: "list[dict]" = []
+    exemplars: "list[dict]" = []
+    shards_seen: "list[str]" = []
+    for p in paths:
+        events = load_run(p)
+        aggs.append(aggregate_events(events))
+        meta = meta_of(events)
+        shard = (meta.get("labels", {}).get("shard")
+                 if isinstance(meta.get("labels"), dict) else None)
+        if shard is None and isinstance(meta.get("serve"), dict):
+            shard = meta["serve"].get("shard")
+        if shard is not None and str(shard) not in shards_seen:
+            shards_seen.append(str(shard))
+        for ev in events:
+            if ev.get("type") == "event" and ev.get("name") == EXEMPLAR_EVENT:
+                exemplars.append(ev)
+    agg = merge_aggregates(aggs)
+    snap = {
         "time": time.time(),
         "aggregate": agg,
         "status": _status_from_aggregate(agg),
         "run": " + ".join(Path(p).stem for p in paths),
         "merged_from": len(paths),
     }
+    if exemplars:
+        snap["journeys"] = merge_exemplar_payloads(exemplars)
+    if shards_seen:
+        snap["shards_seen"] = shards_seen
+    return snap
 
 
 def _scrape_aggregate(snap: dict) -> dict:
@@ -393,8 +433,19 @@ def render_top(snap: dict, *, width: int = 78) -> str:
                      f"(over {status.get('windows_observed', 0)} windows)")
 
     # Fleet view: when series carry shard labels, break the totals down
-    # per shard (sorted numerically where possible).
+    # per shard (sorted numerically where possible).  Shard identities
+    # come from *every* shard-labeled series (any kind) plus the
+    # snapshot's ``shards_seen`` meta-header roll call — a shard whose
+    # metric lines were lost to truncation (the recorder writes them
+    # last) must still get a row rather than silently vanish.
     shards: "dict[str, dict[str, float]]" = {}
+    for section in ("counters", "gauges", "histograms"):
+        for key, state in agg.get(section, {}).items():
+            shard = state.get("labels", {}).get("shard")
+            if shard is not None:
+                shards.setdefault(str(shard), {})
+    for sid in snap.get("shards_seen", []):
+        shards.setdefault(str(sid), {})
     for key, state in counters.items():
         shard = state.get("labels", {}).get("shard")
         if shard is None:
@@ -462,6 +513,24 @@ def render_top(snap: dict, *, width: int = 78) -> str:
             for name, s in sim.items():
                 lines.append(f"    {name:<16} p50 {s['p50']:.3f}  "
                              f"p95 {s['p95']:.3f}  calls {s['calls']}")
+
+    journeys = snap.get("journeys")
+    if journeys and journeys.get("buckets"):
+        lines.append("")
+        lines.append(
+            f"wait exemplars (journeys: {journeys.get('emitted', 0)} emitted, "
+            f"{journeys.get('forced', 0)} forced, "
+            f"sample {journeys.get('sample', 0.0):g}):")
+        lines.append("  wait<=h   tasks  worst trace        task   wait_h")
+        for b in journeys["buckets"]:
+            le = b.get("le")
+            # The overflow bucket's bound is the string "+Inf".
+            le_s = f"{le:g}" if isinstance(le, (int, float)) else "+inf"
+            lines.append(
+                f"  {le_s:<9} {b.get('count', 0):>5}  "
+                f"{b.get('trace', '-'): <16}  "
+                f"{b.get('task_id', '-')!s:>5}  "
+                f"{b.get('wait_hours', 0.0):>6.3f}")
 
     slo = status.get("slo")
     if slo:

@@ -197,10 +197,15 @@ class QualityMonitor(ServeCallback):
         rec = get_recorder()
         if rec.enabled:
             rec.counter_add(f"monitor/alerts_{kind}")
+            # Alert events are aggregated across a fleet's logs, so each
+            # one carries the recorder's identity labels inline — metric
+            # series get them from base labels, event lines do not.
+            identity = {k: v for k, v in rec.registry.base_labels.items()
+                        if k in ("shard", "instance")}
             rec.event("alert", window=alert.window, t=alert.time,
                       kind=alert.kind, signal=alert.signal,
                       detector=alert.detector, value=alert.value,
-                      message=alert.message)
+                      message=alert.message, **identity)
         self._fan_out(alert)
         return alert
 

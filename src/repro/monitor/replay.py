@@ -92,6 +92,9 @@ class TraceReplay:
         self.run_stats = dict(run_stats) if run_stats else None
         self.meta = dict(meta or {})
         self._swaps: "list[dict]" = []
+        #: Raw ``journey`` event lines from the log (schema 3; empty for
+        #: journey-free runs).  Grouped on demand by :meth:`journeys`.
+        self._journey_events: "list[dict]" = []
 
     @classmethod
     def from_log(cls, path: "str | Path") -> "TraceReplay":
@@ -111,6 +114,7 @@ class TraceReplay:
         outages: "list[Outage]" = []
         run_stats = None
         swaps = []
+        journey_events: "list[dict]" = []
         for ev in events:
             if ev.get("type") != "event":
                 continue
@@ -125,10 +129,13 @@ class TraceReplay:
                 run_stats = {k: ev[k] for k in RUN_STAT_FIELDS if k in ev}
             elif name == "serve/hot_swap":
                 swaps.append(ev)
+            elif name == "journey":
+                journey_events.append(ev)
         if not arrivals:
             raise ValueError(f"{path}: no serve/arrival events — nothing to replay")
         replay = cls(params, arrivals, outages, run_stats, meta)
         replay._swaps = swaps
+        replay._journey_events = journey_events
         return replay
 
     # ------------------------------------------------------------------ #
@@ -137,6 +144,31 @@ class TraceReplay:
     def swaps(self) -> "list[dict]":
         """Logged ``serve/hot_swap`` breadcrumbs, in application order."""
         return list(self._swaps)
+
+    @property
+    def journey_sample(self) -> float:
+        """The run's journey sampling fraction (0.0 for journey-free logs)."""
+        return float(self.params.get("journey_sample", 0.0))
+
+    def journeys(self) -> "dict[str, list[dict]]":
+        """Logged task journeys grouped by trace ID, in causal order."""
+        from repro.telemetry.journey import journeys_from_events
+
+        return journeys_from_events(self._journey_events)
+
+    def audit_journeys(self) -> "list[str]":
+        """Causality audit of the logged journeys (empty = clean).
+
+        State-machine transitions, monotone timestamps and trace-ID
+        integrity always; at sampling fraction 1.0 additionally the
+        conservation layer against the logged ``serve/run_stats`` —
+        every admitted task reaches exactly one terminal state and the
+        terminal counts match the run's counters exactly.
+        """
+        from repro.telemetry.journey import audit_journeys
+
+        return audit_journeys(self.journeys(), expect=self.run_stats,
+                              sample=self.journey_sample)
 
     def stream(self, pool: TaskPool) -> ReplayStream:
         """The logged arrivals resolved against a reconstructed pool."""
@@ -234,12 +266,15 @@ class TraceReplay:
         Beyond the counter/conservation checks, every applied hot-swap
         is compared against the logged breadcrumbs: same window, same
         version, same weights digest, same reason — i.e. the replayed
-        retraining loop regenerated byte-identical checkpoints.  Empty
-        list = exact reproduction.
+        retraining loop regenerated byte-identical checkpoints.  Logs
+        with journeys additionally pass the causality audit
+        (:meth:`audit_journeys`).  Empty list = exact reproduction.
         """
         problems: "list[str]" = []
         if not stats.conserved:
             problems.append("conservation identity violated in replay")
+        if self._journey_events:
+            problems.extend(self.audit_journeys())
         if self.run_stats is None:
             problems.append("log has no serve/run_stats event to verify against")
         else:

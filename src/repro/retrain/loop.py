@@ -220,6 +220,15 @@ class RetrainController(ServeCallback):
 
     def on_window(self, snapshot: WindowSnapshot) -> None:
         self.buffer.harvest(snapshot)
+        jt = getattr(self.dispatcher, "journeys", None)
+        if jt is not None:
+            # Retrain provenance: each batch member's label entered the
+            # replay buffer from this window (a later requeue discards
+            # it again — the ``requeued`` journey event marks that).
+            for j, tid in enumerate(snapshot.task_ids):
+                jt.record(int(tid), float(snapshot.arrival[j]), "harvested",
+                          snapshot.time, window=snapshot.window,
+                          buffer_size=len(self.buffer))
         self._cache_window(snapshot)
         self._track_served_error(snapshot)
         if self.state == "training":

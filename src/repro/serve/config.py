@@ -95,6 +95,12 @@ class ServeConfig:
     #: recorder's base labels via :meth:`identity_labels`.
     shard: "str | None" = None
     instance: "str | None" = None
+    #: Per-task journey tracing (:mod:`repro.telemetry.journey`): the
+    #: kept fraction of uneventful journeys (shed / requeued / long-wait
+    #: tasks are always kept).  ``0.0`` = off.  Journeys draw no
+    #: randomness and never enter the records, so the assignment trace
+    #: is byte-identical at any setting.
+    journey_sample: float = 0.0
 
     def __post_init__(self) -> None:
         for name in ("pool_size", "train_epochs", "solver_max_iters",
@@ -119,6 +125,9 @@ class ServeConfig:
             value = getattr(self, name)
             if value is not None and not isinstance(value, str):
                 object.__setattr__(self, name, str(value))
+        if not 0.0 <= self.journey_sample <= 1.0:
+            raise ValueError(
+                f"journey_sample must be in [0, 1], got {self.journey_sample}")
 
     # ------------------------------------------------------------------ #
     # JSON round-trip (meta["serve"] in run logs; CLI flag plumbing).
@@ -145,6 +154,7 @@ class ServeConfig:
             "registry_root": self.registry_root,
             "shard": self.shard,
             "instance": self.instance,
+            "journey_sample": self.journey_sample,
         }
         return params
 
@@ -187,6 +197,7 @@ class ServeConfig:
             registry_root=params.get("registry_root"),
             shard=params.get("shard"),
             instance=params.get("instance"),
+            journey_sample=float(params.get("journey_sample", 0.0)),
         )
 
     def with_overrides(self, **changes: Any) -> "ServeConfig":
@@ -224,6 +235,7 @@ class ServeConfig:
             memoize_predictions=warm,
             learned_seeds=self.warm_start == "learned",
             solve_mode=self.solve_mode,
+            journey_sample=self.journey_sample,
         )
 
 

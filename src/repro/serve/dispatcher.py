@@ -109,6 +109,13 @@ class DispatcherConfig:
     #: Seed cache-miss windows from the learned warm-start head (the
     #: dispatcher's ``warm_model``) instead of going cold.
     learned_seeds: bool = False
+    #: Per-task journey tracing (:mod:`repro.telemetry.journey`).  The
+    #: kept fraction of uneventful journeys; shed / requeued / long-wait
+    #: journeys are always kept.  ``0.0`` disables tracing entirely (one
+    #: ``is not None`` check per decision point — and journeys never
+    #: touch the RNG or the records, so the trace stays byte-identical
+    #: either way).
+    journey_sample: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_batch <= 0 or self.queue_capacity <= 0:
@@ -117,6 +124,9 @@ class DispatcherConfig:
             raise ValueError("max_wait_hours must be positive")
         if self.shed_policy not in ("reject", "drop_oldest"):
             raise ValueError(f"unknown shed_policy {self.shed_policy!r}")
+        if not 0.0 <= self.journey_sample <= 1.0:
+            raise ValueError(
+                f"journey_sample must be in [0, 1], got {self.journey_sample}")
         if self.dispatch_overhead_hours < 0 or self.jitter_std < 0:
             raise ValueError("dispatch_overhead_hours and jitter_std must be >= 0")
         if self.solve_mode not in ("scalar", "blocks"):
@@ -405,6 +415,18 @@ class Dispatcher:
         #: profiler records wall clock only and draws no randomness, so
         #: attaching it never changes the assignment trace.
         self.profiler = profiler
+        #: Per-task journey tracer (:mod:`repro.telemetry.journey`), or
+        #: ``None`` when ``config.journey_sample == 0`` — call sites pay
+        #: one ``is not None`` check in the disabled mode.  Long-wait
+        #: journeys are force-kept from 4x the window wait trigger: a
+        #: task that outwaited four dispatch deadlines is tail, not noise.
+        self.journeys: "JourneyRecorder | None" = None
+        if self.config.journey_sample > 0.0:
+            from repro.telemetry.journey import JourneyRecorder
+
+            self.journeys = JourneyRecorder(
+                self.config.journey_sample,
+                slo_wait_hours=4.0 * self.config.max_wait_hours)
         self.callbacks: "list[ServeCallback]" = list(callbacks or ())
         # The warm-start/memo hooks only apply to methods running the
         # default predict→solve→round pipeline; custom decide() overrides
@@ -446,6 +468,7 @@ class Dispatcher:
         stats = ServeStats()
         rec = get_recorder()
         prof = self.profiler if self.profiler is not None else NULL_PROFILER
+        jt = self.journeys
 
         # Merged primary event list.  Priority orders simultaneous events
         # deterministically: rejoins first (capacity returns), then
@@ -511,6 +534,9 @@ class Dispatcher:
             if len(queue) >= cfg.queue_capacity:
                 if cfg.shed_policy == "reject":
                     shed_one()
+                    if jt is not None:
+                        jt.record(task.task_id, now, "shed", now,
+                                  reason="reject", queue_depth=len(queue))
                     return
                 # drop_oldest: evict the longest-waiting *admitted* job;
                 # re-queued orphans are protected (zero-loss guarantee).
@@ -519,10 +545,21 @@ class Dispatcher:
                 )
                 if victim_idx is None:
                     shed_one()
+                    if jt is not None:
+                        jt.record(task.task_id, now, "shed", now,
+                                  reason="reject", queue_depth=len(queue))
                     return
+                victim = queue[victim_idx]
                 del queue[victim_idx]
                 shed_one()
+                if jt is not None:
+                    jt.record(victim.task.task_id, victim.arrival, "shed",
+                              now, reason="drop_oldest",
+                              evicted_by=int(task.task_id))
             queue.append(_Queued(task, arrival=now, enqueued_at=now))
+            if jt is not None:
+                jt.record(task.task_id, now, "admitted", now,
+                          queue_depth=len(queue))
             note_depth()
 
         def requeue(s: _Scheduled, now: float) -> None:
@@ -532,6 +569,10 @@ class Dispatcher:
             stats.requeued += 1
             if rec.enabled:
                 rec.counter_add("serve/requeued")
+            if jt is not None:
+                jt.record(s.task.task_id, s.arrival, "requeued", now,
+                          window=s.window, cluster_id=s.cluster_id,
+                          requeues=s.requeues + 1)
             if self.callbacks:
                 cb0 = time.perf_counter()
                 for cb in self.callbacks:
@@ -599,6 +640,8 @@ class Dispatcher:
             iters = 0
             predictions = None
             relaxed_X = None
+            seed_src = None
+            decision = None
             if self._default_decide:
                 # Methods predict rows for the *full* fleet they were
                 # fitted on; with clusters down the rows must be subset to
@@ -701,6 +744,26 @@ class Dispatcher:
                     ))
                 busy_until = now + cfg.dispatch_overhead_hours
 
+            if jt is not None:
+                # Two journey events per batch member: the window-level
+                # decision (membership, wait, seed source, solve shape)
+                # and the committed schedule.  Recorded before callbacks
+                # run so a harvest lands after its window's schedule.
+                blocks = (getattr(decision.relaxed, "n_blocks", None)
+                          if decision is not None
+                          and cfg.solve_mode == "blocks" else None)
+                for j, q in enumerate(batch):
+                    jt.record(q.task.task_id, q.arrival, "dispatched", now,
+                              window=window, wait_hours=now - q.enqueued_at,
+                              batch=k, seed=seed_src,
+                              solve_mode=cfg.solve_mode, iterations=iters,
+                              blocks=blocks)
+                    jt.record(q.task.task_id, q.arrival, "scheduled", now,
+                              window=window,
+                              cluster_id=ups[int(labels[j])].cluster_id,
+                              start=float(starts[j]), end=float(ends[j]),
+                              requeues=q.requeues)
+
             if self.callbacks:
                 cb0 = time.perf_counter()
                 with prof.stage("callbacks"):
@@ -776,6 +839,10 @@ class Dispatcher:
             assert r is not None
             dispatch_window(max(r, t_last))
         stats.unserved = len(queue)
+        if jt is not None:
+            for q in queue:
+                jt.record(q.task.task_id, q.arrival, "unserved", t_last,
+                          requeues=q.requeues)
 
         # Finalize execution records (deterministic order, then by task id).
         for c in self.clusters:
@@ -789,6 +856,11 @@ class Dispatcher:
                     stats.completed += 1
                 else:
                     stats.failed += 1
+                if jt is not None:
+                    jt.record(s.task.task_id, s.arrival,
+                              "completed" if s.success else "failed", s.end,
+                              window=s.window, cluster_id=s.cluster_id,
+                              requeues=s.requeues)
                 stats.total_wait_hours += s.start - s.arrival
                 stats.total_flow_hours += s.end - s.arrival
         stats.records.sort(key=lambda r: (r.task_id, r.window))
@@ -831,6 +903,8 @@ class Dispatcher:
                 unserved=stats.unserved, windows=stats.windows,
                 swaps=stats.swaps, max_queue_depth=stats.max_queue_depth,
             )
+        if jt is not None:
+            jt.finish()
         if self.callbacks:
             cb0 = time.perf_counter()
             for cb in self.callbacks:

@@ -18,7 +18,8 @@ determined by the passed generator.
 :func:`run_serve_benchmark` is the end-to-end soak benchmark behind
 ``repro serve bench``: it trains a predictor stack, replays the same
 arrival stream through the dispatcher cold (no warm-start cache), warm,
-warm + quality monitor, and warm + stage profiler, and reports sustained
+warm + quality monitor, warm + stage profiler, and warm + full journey
+tracing (causality-audited), and reports sustained
 matching throughput, p50/p95/p99 assignment latency, the warm/cold
 solver-iteration ratio, and the profiled run's latency budget (per-stage
 percentiles, ``coverage_p95``, hook-call overhead bounds) — the numbers
@@ -251,12 +252,17 @@ def run_serve_benchmark(
     from repro.monitor import MonitorConfig, QualityMonitor
     from repro.telemetry.profiler import NULL_PROFILER, StageProfiler
 
+    from repro.telemetry.journey import JourneyRecorder
+    from repro.telemetry.journey import audit_journeys as _audit_journeys
+
     modes: dict[str, dict] = {}
     monitors: dict[str, QualityMonitor] = {}
     hists_by_mode: dict[str, dict] = {}
     profiler: "StageProfiler | None" = None
+    journeys_rec: "JourneyRecorder | None" = None
+    journeys_stats = None
     for mode, warm in (("cold", False), ("warm", True), ("monitored", True),
-                       ("profiled", True)):
+                       ("profiled", True), ("journeys", True)):
         cfg = DispatcherConfig(
             max_batch=max_batch,
             max_wait_hours=max_wait_hours,
@@ -282,6 +288,13 @@ def run_serve_benchmark(
             dispatcher = Dispatcher(clusters, method, spec, cfg,
                                     callbacks=callbacks,
                                     profiler=profiler if mode == "profiled" else None)
+            if mode == "journeys":
+                # sample=1.0 so the conservation audit is exact, and
+                # keep=True because the summary-mode recorder drops
+                # event lines — the audit reads the in-process copies.
+                journeys_rec = JourneyRecorder(
+                    1.0, slo_wait_hours=4.0 * max_wait_hours, keep=True)
+                dispatcher.journeys = journeys_rec
             wall0 = time.perf_counter()
             stats = dispatcher.run(events, rng=seed + 4)
             run_wall_s = time.perf_counter() - wall0
@@ -314,6 +327,8 @@ def run_serve_benchmark(
             "cache": stats.cache,
             "memo": stats.memo,
         }
+        if mode == "journeys":
+            journeys_stats = stats
         if mode in monitors:
             summary = monitors[mode].summary()
             modes[mode]["monitor_overhead_frac"] = round(
@@ -378,6 +393,48 @@ def run_serve_benchmark(
         "on_frac_bound": round(hook_calls * live_s / prof_wall, 6) if prof_wall else 0.0,
     }
 
+    # Journey tracing: causality audit over the kept journeys, and the
+    # same microbenched overhead methodology.  Journeys off is a single
+    # `is None` check per hook site; journeys on is a record() call.
+    assert journeys_rec is not None and journeys_stats is not None
+    journeys_rec.finish()
+    expect = {name: getattr(journeys_stats, name)
+              for name in ("arrived", "matched", "completed", "failed",
+                           "shed", "requeued", "unserved")}
+    audit_problems = _audit_journeys(journeys_rec.kept, expect=expect,
+                                     sample=1.0)
+    probe_off = None
+    t0 = time.perf_counter()
+    for _ in range(n):
+        if probe_off is not None:
+            raise AssertionError
+    off_check_s = (time.perf_counter() - t0) / n
+    probe = JourneyRecorder(1.0, slo_wait_hours=4.0 * max_wait_hours)
+    t0 = time.perf_counter()
+    for i in range(n // 2):
+        probe.record(i, 0.25, "admitted", 0.25, queue_depth=1)
+        probe.record(i, 0.25, "completed", 0.5, window=0, cluster_id=0,
+                     requeues=0)
+    live_record_s = (time.perf_counter() - t0) / (2 * (n // 2))
+    j_calls = journeys_rec.events_recorded
+    j_wall = modes["journeys"]["run_wall_s"]
+    modes["journeys"].update({
+        "audit_pass": not audit_problems,
+        "audit_problems": audit_problems[:10],
+        "journeys_emitted": journeys_rec.journeys_emitted,
+        "journeys_forced": journeys_rec.journeys_forced,
+        "exemplar_buckets": len(journeys_rec.exemplars()),
+        "overhead": {
+            "hook_calls": j_calls,
+            "off_check_ns": round(off_check_s * 1e9, 1),
+            "live_record_ns": round(live_record_s * 1e9, 1),
+            "off_frac_bound": round(j_calls * off_check_s / warm_wall, 6)
+            if warm_wall else 0.0,
+            "on_frac_bound": round(j_calls * live_record_s / j_wall, 6)
+            if j_wall else 0.0,
+        },
+    })
+
     # Serving percentiles re-read through the public histogram quantile —
     # the benchmark reports exactly what a scrape of the telemetry
     # aggregate would show (bucket upper bounds, not exact order stats).
@@ -409,6 +466,7 @@ def run_serve_benchmark(
         "warm": modes["warm"],
         "monitored": modes["monitored"],
         "profiled": modes["profiled"],
+        "journeys": modes["journeys"],
         "warm_start_iters_speedup": round(cold_it / warm_it, 2) if warm_it else None,
     }
     if out_path is not None:

@@ -22,6 +22,21 @@ the cost of a single branch, so the disabled mode is effectively free
 ...         telemetry.observe("demo/value", 3.0)
 """
 
+from repro.telemetry.journey import (
+    EXEMPLAR_EVENT,
+    JOURNEY_EVENT,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    WAIT_BUCKETS_H,
+    JourneyRecorder,
+    audit_journeys,
+    journey_sampled,
+    journeys_from_events,
+    merge_exemplar_payloads,
+    render_waterfall,
+    stitch_journeys,
+    trace_id,
+)
 from repro.telemetry.jsonl import aggregate_events, load_run, meta_of
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
@@ -100,4 +115,17 @@ __all__ = [
     "StageProfiler",
     "NullStageProfiler",
     "NULL_PROFILER",
+    "JOURNEY_EVENT",
+    "EXEMPLAR_EVENT",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "WAIT_BUCKETS_H",
+    "JourneyRecorder",
+    "trace_id",
+    "journey_sampled",
+    "journeys_from_events",
+    "stitch_journeys",
+    "audit_journeys",
+    "merge_exemplar_payloads",
+    "render_waterfall",
 ]

@@ -72,10 +72,13 @@ __all__ = [
     "run_metadata",
 ]
 
-SCHEMA_VERSION = 2
-#: Schemas :func:`repro.telemetry.jsonl.load_run` accepts (2 is a strict
-#: superset of 1 — unlabeled series are identical in both).
-SUPPORTED_SCHEMAS = (1, 2)
+SCHEMA_VERSION = 3
+#: Schemas :func:`repro.telemetry.jsonl.load_run` accepts.  2 is a
+#: strict superset of 1 (unlabeled series are identical in both); 3
+#: adds per-task ``journey`` / ``journey_exemplars`` event lines
+#: (:mod:`repro.telemetry.journey`) — plain events, so schema-2 readers
+#: that key off event names parse a journey-free schema-3 log unchanged.
+SUPPORTED_SCHEMAS = (1, 2, 3)
 MODES = ("off", "summary", "jsonl")
 DEFAULT_DIR = Path("results") / "telemetry"
 

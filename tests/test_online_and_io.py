@@ -204,6 +204,6 @@ class TestCLI:
 
     def test_trace_command_runs(self, tmp_path, capsys):
         path = tmp_path / "t.json"
-        assert cli_main(["trace", str(path), "--tasks", "4"]) == 0
+        assert cli_main(["trace", "export", str(path), "--tasks", "4"]) == 0
         assert path.exists()
         assert load_trace(path).n_tasks == 4

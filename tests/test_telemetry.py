@@ -277,7 +277,7 @@ class TestJsonlRoundTrip:
         _record_workload(rec)
         events = load_run(rec.close())
         head = meta_of(events)
-        assert head["type"] == "meta" and head["schema"] == 2
+        assert head["type"] == "meta" and head["schema"] == 3
         assert head["run"] == "rt"
         assert head["seeds"] == [0, 1]
         assert head["note"] == "x"
